@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of backpropagation: full vs truncated across
+//! series lengths — the paper's §3.4 claim is a ~1/T compute reduction for
+//! the backward stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfr_core::backprop::{backprop, BackpropMode, BackpropOptions};
+use dfr_core::DfrClassifier;
+use dfr_linalg::Matrix;
+
+fn setup(t: usize) -> (DfrClassifier, Matrix, Vec<f64>) {
+    let mut model = DfrClassifier::paper_default(30, 3, 4, 0).expect("valid");
+    model.reservoir_mut().set_params(0.1, 0.2).expect("valid");
+    for j in 0..model.feature_dim() {
+        model.w_out_mut()[(0, j)] = 0.01 * ((j % 11) as f64 - 5.0);
+        model.w_out_mut()[(2, j)] = -0.02 * ((j % 7) as f64 - 3.0);
+    }
+    let data: Vec<f64> = (0..t * 3).map(|i| ((i as f64) * 0.29).sin()).collect();
+    let series = Matrix::from_vec(t, 3, data).expect("sized correctly");
+    let target = vec![0.0, 0.0, 1.0, 0.0];
+    (model, series, target)
+}
+
+fn bench_backprop_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backprop");
+    for t in [100usize, 500, 2000] {
+        let (model, series, target) = setup(t);
+        let cache = model.forward(&series).expect("stable");
+        for (label, mode) in [
+            ("full", BackpropMode::Full),
+            ("truncated", BackpropMode::PAPER_TRUNCATED),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, t), &t, |b, _| {
+                let options = BackpropOptions {
+                    mode,
+                    mask_gradient: false,
+                };
+                b.iter(|| {
+                    backprop(
+                        std::hint::black_box(&model),
+                        &series,
+                        &cache,
+                        &target,
+                        &options,
+                    )
+                    .expect("gradients")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_forward_plus_backward(c: &mut Criterion) {
+    // The full training step the trainer pays per sample.
+    let mut group = c.benchmark_group("train_step");
+    let (model, series, target) = setup(500);
+    for (label, mode) in [
+        ("full", BackpropMode::Full),
+        ("truncated", BackpropMode::PAPER_TRUNCATED),
+    ] {
+        group.bench_function(label, |b| {
+            let options = BackpropOptions {
+                mode,
+                mask_gradient: false,
+            };
+            b.iter(|| {
+                let cache = model.forward(std::hint::black_box(&series)).expect("stable");
+                backprop(&model, &series, &cache, &target, &options).expect("gradients")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backprop_modes, bench_forward_plus_backward);
+criterion_main!(benches);

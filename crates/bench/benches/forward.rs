@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the reservoir forward pass: the modular
+//! DFR (paper Eq. 13) across series lengths, plus the classic digital and
+//! analog models for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfr_linalg::Matrix;
+use dfr_reservoir::classic::{AnalogDfr, DigitalDfr};
+use dfr_reservoir::mask::Mask;
+use dfr_reservoir::modular::ModularDfr;
+
+fn series(t: usize, channels: usize) -> Matrix {
+    let data: Vec<f64> = (0..t * channels)
+        .map(|i| ((i as f64) * 0.37).sin())
+        .collect();
+    Matrix::from_vec(t, channels, data).expect("sized correctly")
+}
+
+fn bench_modular_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modular_forward");
+    for t in [100usize, 500, 2000] {
+        let dfr = ModularDfr::linear(Mask::binary(30, 3, 0), 0.1, 0.2).expect("valid params");
+        let input = series(t, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| dfr.run(std::hint::black_box(&input)).expect("stable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classic_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classic_forward");
+    let input = series(200, 1);
+    let digital = DigitalDfr::new(Mask::binary(30, 1, 0), 0.7, 0.5, 2, 0.2).expect("valid");
+    group.bench_function("digital_t200", |b| {
+        b.iter(|| digital.run(std::hint::black_box(&input)).expect("stable"))
+    });
+    let analog = AnalogDfr::new(Mask::binary(30, 1, 0), 0.7, 0.5, 2, 0.2, 16).expect("valid");
+    group.bench_function("analog_t200_sub16", |b| {
+        b.iter(|| analog.run(std::hint::black_box(&input)).expect("stable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modular_forward, bench_classic_models);
+criterion_main!(benches);

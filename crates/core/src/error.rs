@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by training, evaluation and search.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A linear-algebra kernel failed.
+    Linalg(dfr_linalg::LinalgError),
+    /// The reservoir substrate failed.
+    Reservoir(dfr_reservoir::ReservoirError),
+    /// A dataset was unusable.
+    Data(dfr_data::DataError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Which option was invalid.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Training produced a non-finite loss or parameter.
+    NumericalFailure {
+        /// Where the failure was detected.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Reservoir(e) => write!(f, "reservoir error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::InvalidConfig { field, detail } => {
+                write!(f, "invalid configuration for {field}: {detail}")
+            }
+            CoreError::NumericalFailure { context } => {
+                write!(f, "numerical failure during {context}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Reservoir(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dfr_linalg::LinalgError> for CoreError {
+    fn from(e: dfr_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<dfr_reservoir::ReservoirError> for CoreError {
+    fn from(e: dfr_reservoir::ReservoirError) -> Self {
+        CoreError::Reservoir(e)
+    }
+}
+
+impl From<dfr_data::DataError> for CoreError {
+    fn from(e: dfr_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(dfr_linalg::LinalgError::Empty { op: "x" });
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::InvalidConfig {
+            field: "epochs",
+            detail: "must be positive".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for epochs: must be positive"
+        );
+        assert!(e.source().is_none());
+
+        let e = CoreError::NumericalFailure { context: "sgd" };
+        assert_eq!(e.to_string(), "numerical failure during sgd");
+    }
+}

@@ -1,0 +1,456 @@
+//! The grid-search baseline (paper §4.1) and the Fig. 6 landscape.
+//!
+//! The paper compares backpropagation against a 3-D grid search over
+//! `A ∈ [10^−3.75, 10^−0.25]`, `B ∈ [10^−2.75, 10^−0.25]` (log-uniform)
+//! and the same β candidates as the proposed method. The number of grid
+//! divisions is increased from 1 until the grid's best test accuracy
+//! reaches the backpropagation accuracy — the "gs divs" column of Table 1.
+//!
+//! Two further tools support the paper's discussion:
+//!
+//! * [`landscape`] evaluates a full `g × g` accuracy map (Fig. 6).
+//! * [`recursive_search`] implements the "recursively dig the best region"
+//!   alternative the paper argues can lock onto the wrong basin.
+
+use crate::model::DfrClassifier;
+use crate::readout::{fit_readout, readout_accuracy};
+use crate::trainer::features_for;
+use crate::CoreError;
+use dfr_data::Dataset;
+use dfr_linalg::Matrix;
+use std::time::Instant;
+
+/// Options for the grid-search baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOptions {
+    /// Virtual nodes `N_x` (paper: 30).
+    pub nodes: usize,
+    /// Mask seed — must match the backpropagation run for a fair comparison.
+    pub mask_seed: u64,
+    /// `log10` range of `A` (paper: `(−3.75, −0.25)`).
+    pub a_log10_range: (f64, f64),
+    /// `log10` range of `B` (paper: `(−2.75, −0.25)`).
+    pub b_log10_range: (f64, f64),
+    /// Ridge β candidates (searched "in the same way as the proposed
+    /// method", i.e. selected by training loss).
+    pub betas: Vec<f64>,
+    /// Hard cap on the number of divisions tried (the paper needed ≤ 18).
+    pub max_divisions: usize,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            nodes: 30,
+            mask_seed: 0,
+            a_log10_range: (-3.75, -0.25),
+            b_log10_range: (-2.75, -0.25),
+            betas: crate::readout::PAPER_BETAS.to_vec(),
+            max_divisions: 32,
+        }
+    }
+}
+
+/// Result of evaluating one `(A, B)` grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Reservoir gain.
+    pub a: f64,
+    /// Reservoir leak.
+    pub b: f64,
+    /// β selected by training loss at this point.
+    pub beta: f64,
+    /// Training cross-entropy at this point.
+    pub train_loss: f64,
+    /// Test accuracy at this point (0 when the reservoir diverged).
+    pub test_accuracy: f64,
+}
+
+/// One refinement level of [`grid_search`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivisionStats {
+    /// Number of divisions `g` (grid is `g × g` points).
+    pub divisions: usize,
+    /// Best test accuracy over this grid.
+    pub best_accuracy: f64,
+    /// Wall-clock seconds for this level.
+    pub seconds: f64,
+}
+
+/// Full grid-search report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchReport {
+    /// Per-level statistics in the order tried (`g = 1, 2, …`).
+    pub levels: Vec<DivisionStats>,
+    /// Best point found overall.
+    pub best: GridPoint,
+    /// Whether the target accuracy was reached within `max_divisions`.
+    pub reached_target: bool,
+    /// Total `(A, B)` evaluations across all levels.
+    pub evaluations: usize,
+    /// Total wall-clock seconds (the paper's "gs time").
+    pub total_seconds: f64,
+}
+
+impl GridSearchReport {
+    /// The paper's "gs divs": divisions of the last level tried.
+    pub fn final_divisions(&self) -> usize {
+        self.levels.last().map_or(0, |l| l.divisions)
+    }
+}
+
+/// The log-uniform grid coordinates for `g` divisions: the interval
+/// midpoint for `g = 1`, otherwise `g` points including both endpoints
+/// ("the grid divisions are performed equally", §4.1).
+pub fn grid_points(log10_range: (f64, f64), divisions: usize) -> Vec<f64> {
+    let (lo, hi) = log10_range;
+    match divisions {
+        0 => Vec::new(),
+        1 => vec![10f64.powf(0.5 * (lo + hi))],
+        g => (0..g)
+            .map(|i| 10f64.powf(lo + (hi - lo) * i as f64 / (g - 1) as f64))
+            .collect(),
+    }
+}
+
+/// Evaluates one `(A, B)` point: reservoir pass over both splits, ridge
+/// readout with β selection by training loss, test accuracy.
+///
+/// Reservoir divergence (possible at the grid corners, where
+/// `A + B > 1` makes the linear reservoir unstable) is *not* an error: it
+/// yields accuracy 0, exactly as an unusable configuration behaves in the
+/// paper's search.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for empty datasets.
+pub fn evaluate_point(
+    ds: &Dataset,
+    options: &GridOptions,
+    a: f64,
+    b: f64,
+) -> Result<GridPoint, CoreError> {
+    if ds.train().is_empty() || ds.test().is_empty() {
+        return Err(CoreError::InvalidConfig {
+            field: "dataset",
+            detail: "grid evaluation needs non-empty train and test splits".into(),
+        });
+    }
+    let mut model = DfrClassifier::paper_default(
+        options.nodes,
+        ds.channels(),
+        ds.num_classes(),
+        options.mask_seed,
+    )?;
+    model.reservoir_mut().set_params(a, b)?;
+
+    let failed = GridPoint {
+        a,
+        b,
+        beta: f64::NAN,
+        train_loss: f64::INFINITY,
+        test_accuracy: 0.0,
+    };
+    let train_features = match features_for(&model, ds.train().iter().map(|s| &s.series)) {
+        Ok(f) => f,
+        Err(CoreError::Reservoir(dfr_reservoir::ReservoirError::Diverged { .. })) => {
+            return Ok(failed)
+        }
+        Err(e) => return Err(e),
+    };
+    let targets = ds.one_hot_train();
+    let fit = match fit_readout(&train_features, &targets, &options.betas) {
+        Ok(f) => f,
+        // Enormous (but finite) features can defeat the Cholesky factor; the
+        // point is unusable, not the search.
+        Err(CoreError::Linalg(_)) | Err(CoreError::NumericalFailure { .. }) => {
+            return Ok(failed)
+        }
+        Err(e) => return Err(e),
+    };
+    let test_features = match features_for(&model, ds.test().iter().map(|s| &s.series)) {
+        Ok(f) => f,
+        Err(CoreError::Reservoir(dfr_reservoir::ReservoirError::Diverged { .. })) => {
+            return Ok(failed)
+        }
+        Err(e) => return Err(e),
+    };
+    let labels: Vec<usize> = ds.test().iter().map(|s| s.label).collect();
+    let test_accuracy = readout_accuracy(&test_features, &fit.w_out, &fit.bias, &labels)?;
+    Ok(GridPoint {
+        a,
+        b,
+        beta: fit.beta,
+        train_loss: fit.train_loss,
+        test_accuracy,
+    })
+}
+
+/// Runs the paper's grid-search protocol: divisions `g = 1, 2, …` until the
+/// best accuracy reaches `target_accuracy` (the backpropagation accuracy)
+/// or `max_divisions` is exhausted.
+///
+/// # Errors
+///
+/// Propagates unrecoverable errors from [`evaluate_point`].
+pub fn grid_search(
+    ds: &Dataset,
+    options: &GridOptions,
+    target_accuracy: f64,
+) -> Result<GridSearchReport, CoreError> {
+    let start = Instant::now();
+    let mut levels = Vec::new();
+    let mut best: Option<GridPoint> = None;
+    let mut evaluations = 0usize;
+    let mut reached = false;
+    for divisions in 1..=options.max_divisions {
+        let level_start = Instant::now();
+        let mut level_best = f64::NEG_INFINITY;
+        for &a in &grid_points(options.a_log10_range, divisions) {
+            for &b in &grid_points(options.b_log10_range, divisions) {
+                let point = evaluate_point(ds, options, a, b)?;
+                evaluations += 1;
+                level_best = level_best.max(point.test_accuracy);
+                if best
+                    .as_ref()
+                    .map_or(true, |p| point.test_accuracy > p.test_accuracy)
+                {
+                    best = Some(point);
+                }
+            }
+        }
+        levels.push(DivisionStats {
+            divisions,
+            best_accuracy: level_best,
+            seconds: level_start.elapsed().as_secs_f64(),
+        });
+        if best.map_or(0.0, |p| p.test_accuracy) >= target_accuracy {
+            reached = true;
+            break;
+        }
+    }
+    Ok(GridSearchReport {
+        levels,
+        best: best.expect("max_divisions >= 1 evaluates at least one point"),
+        reached_target: reached,
+        evaluations,
+        total_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Evaluates the full `g × g` accuracy landscape (paper Fig. 6): entry
+/// `(i, j)` is the test accuracy at the `i`-th `A` and `j`-th `B` grid
+/// coordinate.
+///
+/// # Errors
+///
+/// Propagates unrecoverable errors from [`evaluate_point`].
+pub fn landscape(
+    ds: &Dataset,
+    options: &GridOptions,
+    divisions: usize,
+) -> Result<Matrix, CoreError> {
+    let a_points = grid_points(options.a_log10_range, divisions);
+    let b_points = grid_points(options.b_log10_range, divisions);
+    let mut out = Matrix::zeros(a_points.len(), b_points.len());
+    for (i, &a) in a_points.iter().enumerate() {
+        for (j, &b) in b_points.iter().enumerate() {
+            out[(i, j)] = evaluate_point(ds, options, a, b)?.test_accuracy;
+        }
+    }
+    Ok(out)
+}
+
+/// Report of [`recursive_search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveSearchReport {
+    /// Best point of each level, coarsest first.
+    pub trajectory: Vec<GridPoint>,
+    /// Total `(A, B)` evaluations.
+    pub evaluations: usize,
+}
+
+impl RecursiveSearchReport {
+    /// The final (finest-level) best point.
+    pub fn best(&self) -> &GridPoint {
+        self.trajectory.last().expect("at least one level")
+    }
+}
+
+/// The "recursively dig the best region" alternative (§4.1): a coarse
+/// `g × g` grid is evaluated, then the search re-grids inside the cell
+/// around the best point, repeating for `levels` rounds. Linear in
+/// `levels` rather than exponential — but, as the paper's Fig. 6 shows, it
+/// can commit to the wrong basin when the coarse level is misleading.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidConfig`] if `levels == 0` or `coarse < 2`.
+/// * Propagates unrecoverable errors from [`evaluate_point`].
+pub fn recursive_search(
+    ds: &Dataset,
+    options: &GridOptions,
+    coarse: usize,
+    levels: usize,
+) -> Result<RecursiveSearchReport, CoreError> {
+    if levels == 0 {
+        return Err(CoreError::InvalidConfig {
+            field: "levels",
+            detail: "must be at least 1".into(),
+        });
+    }
+    if coarse < 2 {
+        return Err(CoreError::InvalidConfig {
+            field: "coarse",
+            detail: "recursive refinement needs at least 2 divisions".into(),
+        });
+    }
+    let mut a_range = options.a_log10_range;
+    let mut b_range = options.b_log10_range;
+    let mut trajectory = Vec::with_capacity(levels);
+    let mut evaluations = 0usize;
+    for _ in 0..levels {
+        let a_points = grid_points(a_range, coarse);
+        let b_points = grid_points(b_range, coarse);
+        let mut best: Option<(usize, usize, GridPoint)> = None;
+        for (i, &a) in a_points.iter().enumerate() {
+            for (j, &b) in b_points.iter().enumerate() {
+                let point = evaluate_point(ds, options, a, b)?;
+                evaluations += 1;
+                if best
+                    .as_ref()
+                    .map_or(true, |(_, _, p)| point.test_accuracy > p.test_accuracy)
+                {
+                    best = Some((i, j, point));
+                }
+            }
+        }
+        let (bi, bj, point) = best.expect("grid has at least 4 points");
+        trajectory.push(point);
+        // Shrink each range to the cell neighbourhood around the best index.
+        a_range = shrink(a_range, coarse, bi);
+        b_range = shrink(b_range, coarse, bj);
+    }
+    Ok(RecursiveSearchReport {
+        trajectory,
+        evaluations,
+    })
+}
+
+/// Narrows a log-range to ±1 grid-step around index `i` of a `g`-point grid.
+fn shrink(range: (f64, f64), g: usize, i: usize) -> (f64, f64) {
+    let (lo, hi) = range;
+    let step = (hi - lo) / (g - 1) as f64;
+    let center = lo + step * i as f64;
+    ((center - step).max(lo), (center + step).min(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfr_data::DatasetSpec;
+
+    fn dataset() -> Dataset {
+        let mut ds = DatasetSpec::new("grid-test", 2, 24, 1, 16, 16, 0.35).build(0);
+        dfr_data::normalize::standardize(&mut ds);
+        ds
+    }
+
+    fn options() -> GridOptions {
+        GridOptions {
+            nodes: 8,
+            max_divisions: 4,
+            ..GridOptions::default()
+        }
+    }
+
+    #[test]
+    fn grid_points_midpoint_and_endpoints() {
+        let p1 = grid_points((-3.0, -1.0), 1);
+        assert_eq!(p1.len(), 1);
+        assert!((p1[0] - 1e-2).abs() < 1e-12);
+        let p3 = grid_points((-3.0, -1.0), 3);
+        assert_eq!(p3.len(), 3);
+        assert!((p3[0] - 1e-3).abs() < 1e-15);
+        assert!((p3[1] - 1e-2).abs() < 1e-12);
+        assert!((p3[2] - 1e-1).abs() < 1e-12);
+        assert!(grid_points((-1.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn evaluate_point_works_and_diverged_points_score_zero() {
+        let ds = dataset();
+        let o = options();
+        let good = evaluate_point(&ds, &o, 0.05, 0.05).unwrap();
+        assert!(good.test_accuracy >= 0.0 && good.test_accuracy <= 1.0);
+        assert!(good.train_loss.is_finite());
+        // A + B far above 1 diverges for a linear reservoir on T=24×8 nodes…
+        let bad = evaluate_point(&ds, &o, 200.0, 200.0).unwrap();
+        assert_eq!(bad.test_accuracy, 0.0);
+    }
+
+    #[test]
+    fn grid_search_stops_when_target_reached() {
+        let ds = dataset();
+        let report = grid_search(&ds, &options(), 0.0).unwrap();
+        // Target 0 is reached by the very first level.
+        assert_eq!(report.final_divisions(), 1);
+        assert!(report.reached_target);
+        assert_eq!(report.evaluations, 1);
+    }
+
+    #[test]
+    fn grid_search_exhausts_on_impossible_target() {
+        let ds = dataset();
+        let o = GridOptions {
+            max_divisions: 2,
+            ..options()
+        };
+        let report = grid_search(&ds, &o, 1.1).unwrap();
+        assert!(!report.reached_target);
+        assert_eq!(report.levels.len(), 2);
+        assert_eq!(report.evaluations, 1 + 4);
+    }
+
+    #[test]
+    fn landscape_shape_and_range() {
+        let ds = dataset();
+        let map = landscape(&ds, &options(), 3).unwrap();
+        assert_eq!(map.shape(), (3, 3));
+        assert!(map
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn recursive_search_trajectory_improves_or_holds() {
+        let ds = dataset();
+        let report = recursive_search(&ds, &options(), 3, 2).unwrap();
+        assert_eq!(report.trajectory.len(), 2);
+        assert_eq!(report.evaluations, 9 + 9);
+        // Accuracy at a deeper level is at least as good as remembering the
+        // coarse best would be within its own cell — it may still be a
+        // *worse* global answer (the paper's point); just check sanity.
+        for p in &report.trajectory {
+            assert!((0.0..=1.0).contains(&p.test_accuracy));
+        }
+    }
+
+    #[test]
+    fn recursive_search_validates() {
+        let ds = dataset();
+        assert!(recursive_search(&ds, &options(), 1, 2).is_err());
+        assert!(recursive_search(&ds, &options(), 3, 0).is_err());
+    }
+
+    #[test]
+    fn shrink_clamps_to_original_range() {
+        let r = shrink((-3.0, -1.0), 3, 0);
+        assert_eq!(r.0, -3.0);
+        assert!((r.1 - (-2.0)).abs() < 1e-12);
+        let r = shrink((-3.0, -1.0), 3, 2);
+        assert!((r.0 - (-2.0)).abs() < 1e-12);
+        assert_eq!(r.1, -1.0);
+    }
+}

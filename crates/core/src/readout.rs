@@ -1,0 +1,237 @@
+//! Ridge-regression readout with the paper's β selection.
+//!
+//! After backpropagation fixes the reservoir parameters, the paper retrains
+//! the output layer with ridge regression on one-hot targets, trying
+//! `β ∈ {10⁻⁶, 10⁻⁴, 10⁻², 10⁰}` and keeping "the one with the smallest
+//! loss L" (the cross-entropy of Eq. 15 evaluated on the training split).
+//! Grid search uses the identical procedure, so the two methods differ only
+//! in how `A` and `B` are found.
+
+use crate::CoreError;
+use dfr_linalg::activation::{cross_entropy_from_logits, softmax};
+use dfr_linalg::ridge::ridge_fit_intercept;
+use dfr_linalg::Matrix;
+
+/// The paper's β candidates.
+pub const PAPER_BETAS: [f64; 4] = [1e-6, 1e-4, 1e-2, 1.0];
+
+/// A fitted readout: weights (`N_y × N_r`), bias, the β that won and the
+/// training loss it achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedReadout {
+    /// Readout weights, `N_y × N_r`.
+    pub w_out: Matrix,
+    /// Readout bias, length `N_y`.
+    pub bias: Vec<f64>,
+    /// The selected regularisation parameter.
+    pub beta: f64,
+    /// Mean training cross-entropy with the selected β.
+    pub train_loss: f64,
+}
+
+/// Fits the readout by ridge regression, selecting β by training loss.
+///
+/// `features` is `n × N_r` (one sample per row), `targets` is the one-hot
+/// `n × N_y` matrix.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidConfig`] if `betas` is empty.
+/// * [`CoreError::Linalg`] if every β fails to fit (e.g. non-finite
+///   features after reservoir divergence) — the first failure is returned.
+///
+/// # Example
+///
+/// ```
+/// use dfr_core::readout::{fit_readout, PAPER_BETAS};
+/// use dfr_linalg::Matrix;
+///
+/// # fn main() -> Result<(), dfr_core::CoreError> {
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let y = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]])?;
+/// let fit = fit_readout(&x, &y, &PAPER_BETAS)?;
+/// assert!(PAPER_BETAS.contains(&fit.beta));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_readout(
+    features: &Matrix,
+    targets: &Matrix,
+    betas: &[f64],
+) -> Result<FittedReadout, CoreError> {
+    if betas.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            field: "betas",
+            detail: "at least one regularisation candidate is required".into(),
+        });
+    }
+    let mut best: Option<FittedReadout> = None;
+    let mut first_err: Option<CoreError> = None;
+    for &beta in betas {
+        match try_fit(features, targets, beta) {
+            Ok(candidate) => {
+                if best
+                    .as_ref()
+                    .map_or(true, |b| candidate.train_loss < b.train_loss)
+                {
+                    best = Some(candidate);
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        first_err.unwrap_or(CoreError::NumericalFailure {
+            context: "ridge readout",
+        })
+    })
+}
+
+fn try_fit(features: &Matrix, targets: &Matrix, beta: f64) -> Result<FittedReadout, CoreError> {
+    let (w, b) = ridge_fit_intercept(features, targets, beta)?;
+    // ridge returns W as N_r × N_y; the readout convention is N_y × N_r.
+    let w_out = w.transpose();
+    let train_loss = mean_cross_entropy(features, &w_out, &b, targets)?;
+    if !train_loss.is_finite() {
+        return Err(CoreError::NumericalFailure {
+            context: "ridge readout loss",
+        });
+    }
+    Ok(FittedReadout {
+        w_out,
+        bias: b,
+        beta,
+        train_loss,
+    })
+}
+
+/// Mean softmax cross-entropy of a linear readout over a feature matrix.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Linalg`] on shape mismatches.
+pub fn mean_cross_entropy(
+    features: &Matrix,
+    w_out: &Matrix,
+    bias: &[f64],
+    targets: &Matrix,
+) -> Result<f64, CoreError> {
+    let n = features.rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut logits = w_out.matvec(features.row(i))?;
+        for (l, b) in logits.iter_mut().zip(bias) {
+            *l += b;
+        }
+        total += cross_entropy_from_logits(&logits, targets.row(i));
+    }
+    Ok(total / n as f64)
+}
+
+/// Accuracy of a linear readout over a feature matrix with integer labels.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Linalg`] on shape mismatches.
+pub fn readout_accuracy(
+    features: &Matrix,
+    w_out: &Matrix,
+    bias: &[f64],
+    labels: &[usize],
+) -> Result<f64, CoreError> {
+    let n = features.rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for i in 0..n {
+        let mut logits = w_out.matvec(features.row(i))?;
+        for (l, b) in logits.iter_mut().zip(bias) {
+            *l += b;
+        }
+        let probs = softmax(&logits);
+        if dfr_linalg::stats::argmax(&probs) == Some(labels[i]) {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable features: class = index of the larger coordinate.
+    fn separable() -> (Matrix, Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            &[2.0, 0.1],
+            &[1.5, -0.2],
+            &[0.0, 1.8],
+            &[-0.3, 2.2],
+            &[1.9, 0.4],
+            &[0.2, 1.1],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 1, 1, 0, 1];
+        let mut y = Matrix::zeros(6, 2);
+        for (i, &l) in labels.iter().enumerate() {
+            y[(i, l)] = 1.0;
+        }
+        (x, y, labels)
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let (x, y, labels) = separable();
+        let fit = fit_readout(&x, &y, &PAPER_BETAS).unwrap();
+        let acc = readout_accuracy(&x, &fit.w_out, &fit.bias, &labels).unwrap();
+        assert_eq!(acc, 1.0);
+        assert!(fit.train_loss < 2.0_f64.ln()); // better than uniform
+    }
+
+    #[test]
+    fn selects_smallest_loss_beta() {
+        let (x, y, _) = separable();
+        // With clean separable data the least-regularised fit has the
+        // smallest training loss.
+        let fit = fit_readout(&x, &y, &PAPER_BETAS).unwrap();
+        assert_eq!(fit.beta, 1e-6);
+        // Restricting to a single beta returns that beta.
+        let only = fit_readout(&x, &y, &[1.0]).unwrap();
+        assert_eq!(only.beta, 1.0);
+        assert!(only.train_loss >= fit.train_loss);
+    }
+
+    #[test]
+    fn empty_betas_is_config_error() {
+        let (x, y, _) = separable();
+        assert!(matches!(
+            fit_readout(&x, &y, &[]).unwrap_err(),
+            CoreError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn readout_shapes() {
+        let (x, y, _) = separable();
+        let fit = fit_readout(&x, &y, &PAPER_BETAS).unwrap();
+        assert_eq!(fit.w_out.shape(), (2, 2));
+        assert_eq!(fit.bias.len(), 2);
+    }
+
+    #[test]
+    fn mean_cross_entropy_of_empty_is_zero() {
+        let x = Matrix::zeros(0, 3);
+        let y = Matrix::zeros(0, 2);
+        let w = Matrix::zeros(2, 3);
+        assert_eq!(mean_cross_entropy(&x, &w, &[0.0; 2], &y).unwrap(), 0.0);
+        assert_eq!(readout_accuracy(&x, &w, &[0.0; 2], &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Constant-memory forward pass for truncated training.
+//!
+//! The storage claim of the paper's Table 2 — `2·N_x` reservoir-state
+//! values instead of `(T+1)·N_x` — is only realisable if the forward pass
+//! itself avoids materialising the state history. This module provides that
+//! pass: the DPRR accumulators are updated online while only the current
+//! and previous reservoir-state rows are kept, plus the trailing window the
+//! truncated backward pass needs (the paper's method keeps exactly the last
+//! two states).
+//!
+//! [`StreamingForward::run`] is bit-identical to the standard
+//! [`DfrClassifier::forward`] pipeline (tested), and
+//! [`streaming_backprop`] consumes its output to produce exactly the
+//! truncated gradients of Eqs. 33–36 — so a memory-constrained embedded
+//! training loop never holds more than
+//! `(W+1)·N_x + N_x(N_x+1) + N_y·(N_x(N_x+1)+1)` values, the paper's
+//! "simplified" count for `W = 1`.
+
+use crate::backprop::{backprop, BackpropMode, BackpropOptions, Gradients};
+use crate::model::DfrClassifier;
+use crate::CoreError;
+use dfr_linalg::activation::softmax;
+use dfr_linalg::Matrix;
+use dfr_reservoir::modular::DIVERGENCE_LIMIT;
+use dfr_reservoir::nonlinearity::Nonlinearity;
+use dfr_reservoir::ReservoirError;
+
+/// Output of a constant-memory forward pass: everything the truncated
+/// backward pass (Eqs. 33–36) needs, and nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCache {
+    /// Normalized DPRR features (`N_x(N_x+1)`, scaled by `1/T`).
+    pub features: Vec<f64>,
+    /// Readout pre-activations.
+    pub logits: Vec<f64>,
+    /// Softmax probabilities.
+    pub probs: Vec<f64>,
+    /// The trailing reservoir states, oldest first: `window + 1` rows of
+    /// `N_x` (for the paper's `window = 1`: `x(T−1)` and `x(T)`).
+    pub tail_states: Matrix,
+    /// The masked drive of the trailing `window` steps (`window × N_x`).
+    pub tail_masked: Matrix,
+    /// Series length `T`.
+    pub t_len: usize,
+}
+
+impl StreamingCache {
+    /// Number of stored reservoir-state values — the quantity Table 2
+    /// counts as "simplified" storage.
+    pub fn stored_state_values(&self) -> usize {
+        self.tail_states.len()
+    }
+
+    /// Cross-entropy loss against a one-hot target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len()` differs from the class count.
+    pub fn loss(&self, target: &[f64]) -> f64 {
+        dfr_linalg::activation::cross_entropy(&self.probs, target)
+    }
+}
+
+/// A constant-memory forward pass bound to a classifier and a truncation
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingForward {
+    window: usize,
+}
+
+impl StreamingForward {
+    /// Creates a pass retaining the last `window` steps (the paper's
+    /// truncated method is `window = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `window == 0`.
+    pub fn new(window: usize) -> Result<Self, CoreError> {
+        if window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window",
+                detail: "streaming forward needs a window of at least 1".into(),
+            });
+        }
+        Ok(StreamingForward { window })
+    }
+
+    /// The paper's configuration (`window = 1`).
+    pub fn paper() -> Self {
+        StreamingForward { window: 1 }
+    }
+
+    /// The retained window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs the reservoir + DPRR + readout over `series` holding at most
+    /// `window + 1` state rows at any time.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Reservoir`] on channel mismatch or divergence.
+    /// * [`CoreError::Linalg`] on internal shape errors (unreachable for a
+    ///   well-formed model).
+    pub fn run<N: Nonlinearity + Clone>(
+        &self,
+        model: &DfrClassifier<N>,
+        series: &Matrix,
+    ) -> Result<StreamingCache, CoreError> {
+        let reservoir = model.reservoir();
+        let nx = reservoir.nodes();
+        if series.cols() != reservoir.mask().channels() {
+            return Err(ReservoirError::ChannelMismatch {
+                mask_channels: reservoir.mask().channels(),
+                input_channels: series.cols(),
+            }
+            .into());
+        }
+        let t_len = series.rows();
+        let a = reservoir.a();
+        let b = reservoir.b();
+        let f = reservoir.nonlinearity();
+        let window = self.window.min(t_len.max(1));
+
+        // DPRR accumulators (raw sums; scaled by 1/T at the end).
+        let mut products = vec![0.0; nx * nx];
+        let mut sums = vec![0.0; nx];
+        // Rolling states: prev = x(k−1), current = x(k).
+        let mut prev = vec![0.0; nx];
+        let mut current = vec![0.0; nx];
+        // Ring buffers of the trailing rows for the backward pass.
+        let mut state_tail: std::collections::VecDeque<Vec<f64>> =
+            std::collections::VecDeque::with_capacity(window + 1);
+        let mut masked_tail: std::collections::VecDeque<Vec<f64>> =
+            std::collections::VecDeque::with_capacity(window);
+        state_tail.push_back(vec![0.0; nx]); // x(0) = 0, the state before the series
+
+        let mut chain = 0.0; // s_{t−1} carried across rows
+        for k in 0..t_len {
+            // j(k) = M·u(k), computed row-wise (no T×N_x buffer).
+            let u = series.row(k);
+            let mut j_row = vec![0.0; nx];
+            for (n, jn) in j_row.iter_mut().enumerate() {
+                *jn = dfr_linalg::dot(reservoir.mask().matrix().row(n), u);
+            }
+            for n in 0..nx {
+                let z = j_row[n] + prev[n];
+                let s = a * f.eval(z) + b * chain;
+                if !s.is_finite() || s.abs() > DIVERGENCE_LIMIT {
+                    return Err(ReservoirError::Diverged { step: k }.into());
+                }
+                current[n] = s;
+                chain = s;
+            }
+            // DPRR update: products += x(k) ⊗ x(k−1); sums += x(k).
+            for (i, &xi) in current.iter().enumerate() {
+                sums[i] += xi;
+                if xi != 0.0 {
+                    let row = &mut products[i * nx..(i + 1) * nx];
+                    for (p, &xj) in row.iter_mut().zip(&prev) {
+                        *p += xi * xj;
+                    }
+                }
+            }
+            // Maintain the trailing window.
+            state_tail.push_back(current.clone());
+            if state_tail.len() > window + 1 {
+                state_tail.pop_front();
+            }
+            masked_tail.push_back(j_row);
+            if masked_tail.len() > window {
+                masked_tail.pop_front();
+            }
+            std::mem::swap(&mut prev, &mut current);
+        }
+
+        // Assemble features (scaled by 1/T) and the readout.
+        let scale = 1.0 / (t_len.max(1) as f64);
+        let mut features = Vec::with_capacity(nx * (nx + 1));
+        features.extend(products.iter().map(|p| p * scale));
+        features.extend(sums.iter().map(|s| s * scale));
+        let mut logits = model.w_out().matvec(&features)?;
+        for (l, bias) in logits.iter_mut().zip(model.bias()) {
+            *l += bias;
+        }
+        let probs = softmax(&logits);
+
+        let mut tail_states = Matrix::zeros(0, 0);
+        for row in &state_tail {
+            tail_states.push_row(row)?;
+        }
+        let mut tail_masked = Matrix::zeros(0, 0);
+        for row in &masked_tail {
+            tail_masked.push_row(row)?;
+        }
+        Ok(StreamingCache {
+            features,
+            logits,
+            probs,
+            tail_states,
+            tail_masked,
+            t_len,
+        })
+    }
+}
+
+/// Truncated backward pass (Eqs. 33–36) from a streaming cache — the
+/// constant-memory counterpart of [`crate::backprop::backprop`].
+///
+/// Returns `(loss, gradients)`; mask gradients are not available in
+/// streaming mode (they would need the raw input window, which the paper's
+/// storage model does not budget for).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Linalg`] on internal shape mismatches.
+///
+/// # Panics
+///
+/// Panics if `target.len()` differs from the model's class count.
+pub fn streaming_backprop<N: Nonlinearity + Clone>(
+    model: &DfrClassifier<N>,
+    cache: &StreamingCache,
+    target: &[f64],
+) -> Result<(f64, Gradients), CoreError> {
+    assert_eq!(
+        target.len(),
+        model.num_classes(),
+        "target length must equal the class count"
+    );
+    let loss = cache.loss(target);
+    let nx = model.nodes();
+    let window = cache.tail_masked.rows();
+    let g = dfr_linalg::activation::softmax_cross_entropy_grad(&cache.probs, target);
+    let mut w_grad = Matrix::zeros(model.num_classes(), model.feature_dim());
+    for (c, &gc) in g.iter().enumerate() {
+        if gc == 0.0 {
+            continue;
+        }
+        let row = w_grad.row_mut(c);
+        for (w, &r) in row.iter_mut().zip(&cache.features) {
+            *w = gc * r;
+        }
+    }
+    let mut dr = model.w_out().t_matvec(&g)?;
+    let scale = 1.0 / (cache.t_len.max(1) as f64);
+    for d in &mut dr {
+        *d *= scale;
+    }
+    if cache.t_len == 0 || window == 0 {
+        return Ok((
+            loss,
+            Gradients {
+                a: 0.0,
+                b: 0.0,
+                w_out: w_grad,
+                bias: g,
+                mask: None,
+            },
+        ));
+    }
+    let dr_products = Matrix::from_vec(nx, nx, dr[..nx * nx].to_vec())?;
+    let dr_sums = &dr[nx * nx..];
+
+    let a = model.reservoir().a();
+    let b = model.reservoir().b();
+    let f = model.reservoir().nonlinearity();
+    // Tail layout: tail_states row r is x(T − window + r − 1 + 1)… i.e. the
+    // oldest retained state is x(T − window) at row 0; tail_masked row r is
+    // j(T − window + r + 1) in 1-based terms. Global step of tail row r:
+    // k = t_len − window + r (0-based).
+    let rows = window;
+    let mut bpv = Matrix::zeros(rows, nx);
+    for r in 0..rows {
+        let k = cache.t_len - window + r;
+        // x(k−1) is tail_states row r (one row before x(k) at row r+1).
+        let x_prev = cache.tail_states.row(r);
+        let term1 = dr_products.matvec(x_prev)?;
+        bpv.row_mut(r).copy_from_slice(&term1);
+        if k + 1 < cache.t_len {
+            let x_next = cache.tail_states.row(r + 2);
+            let term2 = dr_products.t_matvec(x_next)?;
+            for (o, t2) in bpv.row_mut(r).iter_mut().zip(term2) {
+                *o += t2;
+            }
+        }
+        for (o, &s) in bpv.row_mut(r).iter_mut().zip(dr_sums) {
+            *o += s;
+        }
+    }
+    let mut ds = Matrix::zeros(rows, nx);
+    let mut a_grad = 0.0;
+    let mut b_grad = 0.0;
+    for r in (0..rows).rev() {
+        let k = cache.t_len - window + r;
+        for n in (0..nx).rev() {
+            let mut d = bpv[(r, n)];
+            if n + 1 < nx {
+                d += b * ds[(r, n + 1)];
+            } else if k + 1 < cache.t_len {
+                d += b * ds[(r + 1, 0)];
+            }
+            if k + 1 < cache.t_len {
+                let z_next = cache.tail_masked[(r + 1, n)] + cache.tail_states[(r + 1, n)];
+                d += a * f.derivative(z_next) * ds[(r + 1, n)];
+            }
+            ds[(r, n)] = d;
+            let z = cache.tail_masked[(r, n)] + cache.tail_states[(r, n)];
+            a_grad += f.eval(z) * d;
+            // Chain predecessor: previous node of x(k), wrapping to the last
+            // node of x(k−1) (tail row r).
+            let chain_prev = if n > 0 {
+                cache.tail_states[(r + 1, n - 1)]
+            } else {
+                cache.tail_states[(r, nx - 1)]
+            };
+            b_grad += chain_prev * d;
+        }
+    }
+    Ok((
+        loss,
+        Gradients {
+            a: a_grad,
+            b: b_grad,
+            w_out: w_grad,
+            bias: g,
+            mask: None,
+        },
+    ))
+}
+
+/// Convenience: the standard (history-materialising) truncated backprop for
+/// comparison in tests and benches.
+pub fn reference_truncated<N: Nonlinearity + Clone>(
+    model: &DfrClassifier<N>,
+    series: &Matrix,
+    target: &[f64],
+    window: usize,
+) -> Result<(f64, Gradients), CoreError> {
+    let cache = model.forward(series)?;
+    backprop(
+        model,
+        series,
+        &cache,
+        target,
+        &BackpropOptions {
+            mode: BackpropMode::Truncated { window },
+            mask_gradient: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DfrClassifier {
+        let mut m = DfrClassifier::paper_default(5, 2, 3, 2).expect("model");
+        m.reservoir_mut().set_params(0.15, 0.2).expect("params");
+        for j in 0..m.feature_dim() {
+            m.w_out_mut()[(0, j)] = 0.03 * ((j % 9) as f64 - 4.0);
+            m.w_out_mut()[(2, j)] = -0.02 * ((j % 4) as f64);
+        }
+        m
+    }
+
+    fn series(t: usize) -> Matrix {
+        let data: Vec<f64> = (0..t * 2).map(|i| ((i as f64) * 0.53).sin()).collect();
+        Matrix::from_vec(t, 2, data).expect("sized")
+    }
+
+    #[test]
+    fn streaming_features_match_standard_forward() {
+        let m = model();
+        let u = series(12);
+        let standard = m.forward(&u).expect("standard");
+        let streaming = StreamingForward::paper().run(&m, &u).expect("streaming");
+        assert_eq!(standard.features.len(), streaming.features.len());
+        for (a, b) in standard.features.iter().zip(&streaming.features) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        for (a, b) in standard.probs.iter().zip(&streaming.probs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_stores_only_window_plus_one_states() {
+        let m = model();
+        let u = series(40);
+        let cache = StreamingForward::paper().run(&m, &u).expect("streaming");
+        assert_eq!(cache.stored_state_values(), 2 * 5); // 2·N_x, Table 2
+        let wide = StreamingForward::new(4).unwrap().run(&m, &u).expect("w=4");
+        assert_eq!(wide.stored_state_values(), 5 * 5); // (W+1)·N_x
+    }
+
+    #[test]
+    fn streaming_gradients_match_reference_truncated() {
+        let m = model();
+        for (t, window) in [(9usize, 1usize), (9, 3), (5, 5), (1, 1)] {
+            let u = series(t);
+            let d = [0.0, 1.0, 0.0];
+            let (loss_ref, g_ref) =
+                reference_truncated(&m, &u, &d, window).expect("reference");
+            let cache = StreamingForward::new(window)
+                .unwrap()
+                .run(&m, &u)
+                .expect("streaming");
+            let (loss_st, g_st) = streaming_backprop(&m, &cache, &d).expect("streaming bp");
+            assert!((loss_ref - loss_st).abs() < 1e-12, "t={t} w={window}");
+            assert!(
+                (g_ref.a - g_st.a).abs() < 1e-10,
+                "t={t} w={window}: dA {} vs {}",
+                g_ref.a,
+                g_st.a
+            );
+            assert!(
+                (g_ref.b - g_st.b).abs() < 1e-10,
+                "t={t} w={window}: dB {} vs {}",
+                g_ref.b,
+                g_st.b
+            );
+            for (a, b) in g_ref.w_out.as_slice().iter().zip(g_st.w_out.as_slice()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(StreamingForward::new(0).is_err());
+        assert!(StreamingForward::new(1).is_ok());
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let m = model();
+        let bad = Matrix::zeros(5, 3);
+        assert!(StreamingForward::paper().run(&m, &bad).is_err());
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let mut m = model();
+        m.reservoir_mut().set_params(5.0, 5.0).expect("params");
+        let big = Matrix::filled(200, 2, 1.0);
+        let err = StreamingForward::paper().run(&m, &big).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Reservoir(ReservoirError::Diverged { .. })
+        ));
+    }
+}

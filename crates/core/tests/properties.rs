@@ -1,0 +1,172 @@
+//! Property-based tests of the backpropagation engine and its supporting
+//! machinery.
+
+use dfr_core::backprop::{backprop, BackpropMode, BackpropOptions};
+use dfr_core::memory::MemoryModel;
+use dfr_core::optimizer::Schedule;
+use dfr_core::streaming::{streaming_backprop, StreamingForward};
+use dfr_core::DfrClassifier;
+use dfr_linalg::Matrix;
+use proptest::prelude::*;
+
+/// A small classifier with bounded random readout weights and reservoir
+/// parameters in the stable region.
+fn classifier(
+    a: f64,
+    b: f64,
+    w_scale: f64,
+    seed: u64,
+) -> DfrClassifier {
+    let mut m = DfrClassifier::paper_default(4, 2, 3, seed).expect("model");
+    m.reservoir_mut().set_params(a, b).expect("stable params");
+    for c in 0..3 {
+        for j in 0..m.feature_dim() {
+            // Deterministic pseudo-random pattern bounded by w_scale.
+            let v = (((c * 31 + j * 17 + seed as usize * 7) % 23) as f64 / 23.0 - 0.5) * w_scale;
+            m.w_out_mut()[(c, j)] = v;
+        }
+    }
+    m
+}
+
+fn input(t: usize, phase: f64) -> Matrix {
+    let data: Vec<f64> = (0..t * 2)
+        .map(|i| ((i as f64) * 0.61 + phase).sin() * 0.8)
+        .collect();
+    Matrix::from_vec(t, 2, data).expect("sized")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The analytic full gradient of A and B matches central finite
+    /// differences for random stable configurations.
+    #[test]
+    fn full_gradient_matches_fd(
+        a in 0.02_f64..0.4,
+        b in 0.02_f64..0.4,
+        w_scale in 0.05_f64..0.5,
+        phase in 0.0_f64..6.0,
+        class in 0usize..3,
+    ) {
+        let m = classifier(a, b, w_scale, 1);
+        let u = input(7, phase);
+        let mut d = [0.0; 3];
+        d[class] = 1.0;
+        let cache = m.forward(&u).expect("forward");
+        let (_, g) = backprop(&m, &u, &cache, &d, &BackpropOptions {
+            mode: BackpropMode::Full,
+            mask_gradient: false,
+        }).expect("backprop");
+        let h = 1e-6;
+        let loss_at = |aa: f64, bb: f64| {
+            let mut mm = m.clone();
+            mm.reservoir_mut().set_params(aa, bb).expect("params");
+            mm.forward(&u).expect("forward").loss(&d)
+        };
+        let fd_a = (loss_at(a + h, b) - loss_at(a - h, b)) / (2.0 * h);
+        let fd_b = (loss_at(a, b + h) - loss_at(a, b - h)) / (2.0 * h);
+        prop_assert!((g.a - fd_a).abs() < 1e-4 * (1.0 + fd_a.abs()),
+            "dA {} vs {}", g.a, fd_a);
+        prop_assert!((g.b - fd_b).abs() < 1e-4 * (1.0 + fd_b.abs()),
+            "dB {} vs {}", g.b, fd_b);
+    }
+
+    /// Truncated gradients with window ≥ T equal the full gradient.
+    #[test]
+    fn saturated_window_equals_full(
+        a in 0.05_f64..0.3,
+        b in 0.05_f64..0.3,
+        t in 1usize..9,
+    ) {
+        let m = classifier(a, b, 0.2, 2);
+        let u = input(t, 0.3);
+        let d = [1.0, 0.0, 0.0];
+        let cache = m.forward(&u).expect("forward");
+        let full = backprop(&m, &u, &cache, &d, &BackpropOptions {
+            mode: BackpropMode::Full, mask_gradient: false,
+        }).expect("full").1;
+        let window = backprop(&m, &u, &cache, &d, &BackpropOptions {
+            mode: BackpropMode::Truncated { window: t + 3 }, mask_gradient: false,
+        }).expect("windowed").1;
+        prop_assert!((full.a - window.a).abs() < 1e-10);
+        prop_assert!((full.b - window.b).abs() < 1e-10);
+    }
+
+    /// The streaming (constant-memory) pipeline is equivalent to the
+    /// standard one for any window and length.
+    #[test]
+    fn streaming_equals_reference(
+        a in 0.05_f64..0.3,
+        b in 0.05_f64..0.3,
+        t in 1usize..12,
+        window in 1usize..5,
+        class in 0usize..3,
+    ) {
+        let m = classifier(a, b, 0.3, 3);
+        let u = input(t, 1.1);
+        let mut d = [0.0; 3];
+        d[class] = 1.0;
+        let cache = m.forward(&u).expect("forward");
+        let (loss_ref, g_ref) = backprop(&m, &u, &cache, &d, &BackpropOptions {
+            mode: BackpropMode::Truncated { window }, mask_gradient: false,
+        }).expect("reference");
+        let st_cache = StreamingForward::new(window).expect("window")
+            .run(&m, &u).expect("streaming forward");
+        let (loss_st, g_st) = streaming_backprop(&m, &st_cache, &d).expect("streaming bp");
+        prop_assert!((loss_ref - loss_st).abs() < 1e-10);
+        prop_assert!((g_ref.a - g_st.a).abs() < 1e-9, "{} vs {}", g_ref.a, g_st.a);
+        prop_assert!((g_ref.b - g_st.b).abs() < 1e-9, "{} vs {}", g_ref.b, g_st.b);
+    }
+
+    /// Readout gradients are linear in the loss gradient: scaling the
+    /// readout scales ∂L/∂r accordingly but ∂L/∂b stays `y − d`.
+    #[test]
+    fn bias_gradient_is_probability_error(
+        a in 0.05_f64..0.3,
+        w_scale in 0.05_f64..0.4,
+        class in 0usize..3,
+    ) {
+        let m = classifier(a, 0.1, w_scale, 4);
+        let u = input(6, 0.0);
+        let mut d = [0.0; 3];
+        d[class] = 1.0;
+        let cache = m.forward(&u).expect("forward");
+        let (_, g) = backprop(&m, &u, &cache, &d, &BackpropOptions::default())
+            .expect("backprop");
+        for k in 0..3 {
+            prop_assert!((g.bias[k] - (cache.probs[k] - d[k])).abs() < 1e-12);
+        }
+    }
+
+    /// Memory model monotonicity: windowed storage is non-decreasing in the
+    /// window and bracketed by simplified/naive.
+    #[test]
+    fn memory_model_monotone(
+        t in 1usize..3000,
+        nx in 1usize..64,
+        ny in 1usize..100,
+        w1 in 1usize..3000,
+        w2 in 1usize..3000,
+    ) {
+        let m = MemoryModel::new(t, nx, ny);
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        prop_assert!(m.windowed(lo) <= m.windowed(hi));
+        prop_assert!(m.simplified() <= m.windowed(lo));
+        prop_assert!(m.windowed(hi) <= m.naive());
+        prop_assert!(m.reduction() >= 0.0 && m.reduction() < 1.0);
+    }
+
+    /// Step-decay schedules are non-increasing over epochs.
+    #[test]
+    fn schedules_non_increasing(
+        initial in 0.001_f64..10.0,
+        e1 in 0usize..50,
+        e2 in 0usize..50,
+    ) {
+        let s = Schedule::step_decay(initial, &[5, 10, 15, 20], 0.1);
+        let (lo, hi) = (e1.min(e2), e1.max(e2));
+        prop_assert!(s.lr(hi) <= s.lr(lo) + 1e-15);
+        prop_assert!(s.lr(0) == initial);
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A sample's label was at least the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared number of classes.
+        num_classes: usize,
+    },
+    /// A dataset parameter was zero or otherwise unusable.
+    InvalidSpec {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+    /// Samples in one dataset had differing channel counts.
+    ChannelMismatch {
+        /// Channel count of the first sample.
+        expected: usize,
+        /// Channel count of the offending sample.
+        found: usize,
+    },
+    /// An unknown dataset name was requested.
+    UnknownDataset {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DataError::InvalidSpec { field } => write!(f, "invalid dataset spec: {field}"),
+            DataError::ChannelMismatch { expected, found } => {
+                write!(f, "channel mismatch: expected {expected}, found {found}")
+            }
+            DataError::UnknownDataset { name } => write!(f, "unknown dataset: {name}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            DataError::LabelOutOfRange {
+                label: 5,
+                num_classes: 3
+            }
+            .to_string(),
+            "label 5 out of range for 3 classes"
+        );
+        assert_eq!(
+            DataError::InvalidSpec { field: "length" }.to_string(),
+            "invalid dataset spec: length"
+        );
+        assert_eq!(
+            DataError::ChannelMismatch {
+                expected: 3,
+                found: 2
+            }
+            .to_string(),
+            "channel mismatch: expected 3, found 2"
+        );
+        assert_eq!(
+            DataError::UnknownDataset {
+                name: "NOPE".into()
+            }
+            .to_string(),
+            "unknown dataset: NOPE"
+        );
+    }
+}

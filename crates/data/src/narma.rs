@@ -1,0 +1,132 @@
+//! NARMA benchmark series for time-series *prediction* examples.
+//!
+//! NARMA-10 is the classic reservoir-computing prediction benchmark (used by
+//! the original DFR paper of Appeltant et al.). It is not part of this
+//! paper's classification evaluation, but the repository ships it as an
+//! extension example showing the reservoir substrate on a prediction task.
+
+use crate::rng::seeded_rng;
+use rand::Rng;
+
+/// A NARMA input/target pair: drive `u` and the system response `y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarmaSeries {
+    /// Input drive, i.i.d. uniform on `[0, 0.5]`.
+    pub input: Vec<f64>,
+    /// NARMA system output aligned with `input` (same length).
+    pub target: Vec<f64>,
+}
+
+impl NarmaSeries {
+    /// Length of the series.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+/// Generates a NARMA-`order` series of the given length.
+///
+/// The recurrence (for order `n`) is
+/// `y(t+1) = 0.3 y(t) + 0.05 y(t) Σ_{i<n} y(t−i) + 1.5 u(t−n+1) u(t) + 0.1`,
+/// with the first `order` outputs set to 0. The drive is uniform on
+/// `[0, 0.5]`, the standard setting that keeps the system stable.
+///
+/// # Panics
+///
+/// Panics if `order == 0` or `length == 0`.
+///
+/// # Example
+///
+/// ```
+/// let s = dfr_data::narma::narma(10, 500, 42);
+/// assert_eq!(s.len(), 500);
+/// assert!(s.target.iter().all(|y| y.is_finite()));
+/// ```
+pub fn narma(order: usize, length: usize, seed: u64) -> NarmaSeries {
+    assert!(order > 0, "NARMA order must be positive");
+    assert!(length > 0, "NARMA length must be positive");
+    let mut rng = seeded_rng("narma", &[order as u64, seed]);
+    let input: Vec<f64> = (0..length).map(|_| rng.gen_range(0.0..0.5)).collect();
+    let mut target = vec![0.0; length];
+    for t in order..length {
+        let window: f64 = target[t - order..t].iter().sum();
+        let y = 0.3 * target[t - 1]
+            + 0.05 * target[t - 1] * window
+            + 1.5 * input[t - order] * input[t - 1]
+            + 0.1;
+        // The classic NARMA-10 occasionally diverges for unlucky drives; the
+        // standard fix is a saturating nonlinearity.
+        target[t] = y.tanh();
+    }
+    NarmaSeries { input, target }
+}
+
+/// Normalised mean squared error, the standard NARMA metric:
+/// `NMSE = Σ (y − ŷ)² / Σ (y − mean(y))²`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `target` has zero variance.
+pub fn nmse(prediction: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(prediction.len(), target.len(), "nmse: length mismatch");
+    let mean = dfr_linalg::stats::mean(target);
+    let num: f64 = prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    let den: f64 = target.iter().map(|t| (t - mean) * (t - mean)).sum();
+    assert!(den > 0.0, "nmse: target has zero variance");
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_finite() {
+        let a = narma(10, 1000, 1);
+        let b = narma(10, 1000, 1);
+        assert_eq!(a, b);
+        assert!(a.target.iter().all(|y| y.is_finite()));
+    }
+
+    #[test]
+    fn warmup_is_zero() {
+        let s = narma(10, 50, 0);
+        assert!(s.target[..10].iter().all(|&y| y == 0.0));
+        assert!(s.target[10..].iter().any(|&y| y != 0.0));
+    }
+
+    #[test]
+    fn input_range() {
+        let s = narma(5, 200, 3);
+        assert!(s.input.iter().all(|&u| (0.0..0.5).contains(&u)));
+    }
+
+    #[test]
+    fn nmse_zero_for_perfect_prediction() {
+        let s = narma(10, 200, 2);
+        assert!(nmse(&s.target, &s.target) < 1e-30);
+    }
+
+    #[test]
+    fn nmse_one_for_mean_prediction() {
+        let s = narma(10, 200, 2);
+        let mean = dfr_linalg::stats::mean(&s.target);
+        let pred = vec![mean; s.len()];
+        assert!((nmse(&pred, &s.target) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_panics() {
+        narma(0, 10, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-channel standardisation fit on the training split.
+//!
+//! The DFR's masked input `j(k) = M·u(k)` is sensitive to input scale (the
+//! reservoir gain `A` multiplies it), so inputs are standardised per channel
+//! using statistics of the *training* split only — the test split is
+//! transformed with the same parameters, as in any leak-free pipeline.
+
+use crate::Dataset;
+use dfr_linalg::stats;
+
+/// Per-channel affine normalisation parameters.
+///
+/// # Example
+///
+/// ```
+/// use dfr_data::{normalize::Standardizer, DatasetSpec};
+///
+/// let mut ds = DatasetSpec::new("norm-demo", 2, 30, 2, 10, 10, 0.5).build(0);
+/// let st = Standardizer::fit(&ds);
+/// st.apply(&mut ds);
+/// // Training data is now ≈ zero-mean per channel.
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits per-channel mean and standard deviation on the training split.
+    ///
+    /// Channels with near-zero variance get `std = 1` so they are only
+    /// centred, never blown up.
+    pub fn fit(ds: &Dataset) -> Self {
+        let channels = ds.channels();
+        let mut means = vec![0.0; channels];
+        let mut stds = vec![1.0; channels];
+        for c in 0..channels {
+            let values: Vec<f64> = ds
+                .train()
+                .iter()
+                .flat_map(|s| (0..s.len()).map(move |t| s.series[(t, c)]))
+                .collect();
+            means[c] = stats::mean(&values);
+            let sd = stats::std_dev(&values);
+            stds[c] = if sd < 1e-12 { 1.0 } else { sd };
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Channel means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Channel standard deviations (1.0 for constant channels).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the transform to both splits in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's channel count differs from the fitted one.
+    pub fn apply(&self, ds: &mut Dataset) {
+        assert_eq!(
+            ds.channels(),
+            self.means.len(),
+            "standardizer fitted on a different channel count"
+        );
+        self.apply_split(ds.train_mut());
+        self.apply_split(ds.test_mut());
+    }
+
+    fn apply_split(&self, split: &mut [crate::Sample]) {
+        for s in split {
+            for t in 0..s.series.rows() {
+                for c in 0..s.series.cols() {
+                    s.series[(t, c)] = (s.series[(t, c)] - self.means[c]) / self.stds[c];
+                }
+            }
+        }
+    }
+}
+
+/// Fits on the training split and applies to both splits in one call.
+///
+/// Returns the fitted parameters for later reuse (e.g. deployment).
+pub fn standardize(ds: &mut Dataset) -> Standardizer {
+    let st = Standardizer::fit(ds);
+    st.apply(ds);
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+
+    fn dataset() -> Dataset {
+        DatasetSpec::new("norm-test", 2, 25, 3, 8, 8, 0.4).build(0)
+    }
+
+    #[test]
+    fn train_split_is_standardized() {
+        let mut ds = dataset();
+        standardize(&mut ds);
+        for c in 0..ds.channels() {
+            let values: Vec<f64> = ds
+                .train()
+                .iter()
+                .flat_map(|s| (0..s.len()).map(move |t| s.series[(t, c)]))
+                .collect();
+            assert!(stats::mean(&values).abs() < 1e-10, "channel {c} mean");
+            assert!(
+                (stats::std_dev(&values) - 1.0).abs() < 1e-10,
+                "channel {c} std"
+            );
+        }
+    }
+
+    #[test]
+    fn test_split_uses_train_statistics() {
+        let mut ds = dataset();
+        let before = ds.test()[0].series.clone();
+        let st = standardize(&mut ds);
+        let after = &ds.test()[0].series;
+        // Test data transformed with train stats — verify the affine map.
+        for t in 0..before.rows() {
+            for c in 0..before.cols() {
+                let expected = (before[(t, c)] - st.means()[c]) / st.stds()[c];
+                assert!((after[(t, c)] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_up_to_refit() {
+        let mut ds = dataset();
+        standardize(&mut ds);
+        let snapshot = ds.clone();
+        // Refit on already-standardised data: means ≈ 0, stds ≈ 1, so a
+        // second application changes nothing.
+        standardize(&mut ds);
+        for (a, b) in ds.train().iter().zip(snapshot.train()) {
+            for (x, y) in a.series.as_slice().iter().zip(b.series.as_slice()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_channel_only_centred() {
+        use crate::Sample;
+        use dfr_linalg::Matrix;
+        let mk = |label| Sample::new(Matrix::filled(5, 1, 7.0), label);
+        let mut ds = Dataset::new("const", 2, vec![mk(0), mk(1)], vec![mk(0)]).unwrap();
+        standardize(&mut ds);
+        for s in ds.train() {
+            assert!(s.series.as_slice().iter().all(|&x| x.abs() < 1e-12));
+        }
+    }
+}

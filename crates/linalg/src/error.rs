@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries a human-readable description of the operation and the two
+    /// offending shapes as `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be symmetric positive definite was not
+    /// (Cholesky found a non-positive pivot at the given index).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An operation requiring a non-empty matrix received an empty one.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Construction from rows received rows of differing lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the first row with a different length.
+        row: usize,
+        /// Length of that row.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Empty { op } => write!(f, "empty matrix passed to {op}"),
+            LinalgError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "ragged rows: row {row} has length {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 7 };
+        assert_eq!(e.to_string(), "matrix is not positive definite (pivot 7)");
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = LinalgError::Empty { op: "cholesky" };
+        assert_eq!(e.to_string(), "empty matrix passed to cholesky");
+    }
+
+    #[test]
+    fn display_ragged() {
+        let e = LinalgError::RaggedRows {
+            expected: 3,
+            row: 1,
+            found: 2,
+        };
+        assert_eq!(e.to_string(), "ragged rows: row 1 has length 2, expected 3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

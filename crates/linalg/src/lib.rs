@@ -1,0 +1,47 @@
+//! Minimal dense linear algebra for the DFR reproduction.
+//!
+//! This crate provides exactly the numerical kernels the delayed-feedback
+//! reservoir (DFR) pipeline needs, with no external BLAS dependency:
+//!
+//! * [`Matrix`] — a row-major dense matrix of `f64` with the usual
+//!   products ([`Matrix::matmul`], [`Matrix::matvec`], transposes, …).
+//! * [`cholesky`] — Cholesky factorisation and solves for symmetric
+//!   positive-definite systems, used by the ridge-regression readout.
+//! * [`ridge`] — ridge regression in both primal and dual form with
+//!   automatic selection based on the problem shape.
+//! * [`activation`] — numerically stable softmax / log-sum-exp and the
+//!   cross-entropy loss used by the output layer.
+//! * [`stats`] — small statistics helpers (mean, standard deviation,
+//!   argmax) used by dataset normalisation and accuracy metrics.
+//!
+//! # Example
+//!
+//! Solve a tiny ridge problem:
+//!
+//! ```
+//! use dfr_linalg::{Matrix, ridge::ridge_fit};
+//!
+//! # fn main() -> Result<(), dfr_linalg::LinalgError> {
+//! // Two samples, three features.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0]])?;
+//! // One target column.
+//! let y = Matrix::from_rows(&[&[1.0], &[2.0]])?;
+//! let w = ridge_fit(&x, &y, 1e-6)?;
+//! assert_eq!(w.rows(), 3);
+//! assert_eq!(w.cols(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod cholesky;
+mod error;
+mod matrix;
+pub mod ridge;
+pub mod stats;
+
+pub use error::LinalgError;
+pub use matrix::{dot, Matrix};

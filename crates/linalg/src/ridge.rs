@@ -1,0 +1,260 @@
+//! Ridge regression in primal and dual form.
+//!
+//! The DFR readout (paper §4) trains `W_out` by ridge regression on the
+//! reservoir-representation features after backpropagation has fixed the
+//! reservoir parameters. With `n` samples and `p` features the primal form
+//! solves a `p x p` system while the dual form solves `n x n`; the DPRR has
+//! `p = N_x (N_x + 1)` features (930 for `N_x = 30`), usually far more than
+//! the number of training samples, so the dual form is the fast path.
+
+use crate::cholesky::Cholesky;
+use crate::{LinalgError, Matrix};
+
+/// Which formulation [`ridge_fit`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RidgeMode {
+    /// Choose primal when `p <= n`, dual otherwise (the default).
+    #[default]
+    Auto,
+    /// Solve `(XᵀX + βI) W = XᵀY` — `p x p` system.
+    Primal,
+    /// Solve `W = Xᵀ (XXᵀ + βI)⁻¹ Y` — `n x n` system.
+    Dual,
+}
+
+/// Fits ridge-regression weights `W` minimising `‖X W − Y‖² + β ‖W‖²`.
+///
+/// `x` is `n x p` (one sample per row), `y` is `n x q` (targets, e.g. one-hot
+/// class rows), and the returned `W` is `p x q`. The formulation is chosen
+/// automatically; see [`ridge_fit_with`] to force one.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `x.rows() != y.rows()`.
+/// * [`LinalgError::Empty`] if `x` has no rows or no columns.
+/// * [`LinalgError::NotPositiveDefinite`] if `β <= 0` makes the system
+///   singular (use `β > 0`).
+///
+/// # Example
+///
+/// ```
+/// use dfr_linalg::{Matrix, ridge::ridge_fit};
+///
+/// # fn main() -> Result<(), dfr_linalg::LinalgError> {
+/// // y = 2·x₀ exactly; ridge with tiny β recovers ≈2.
+/// let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]])?;
+/// let y = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]])?;
+/// let w = ridge_fit(&x, &y, 1e-9)?;
+/// assert!((w[(0, 0)] - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ridge_fit(x: &Matrix, y: &Matrix, beta: f64) -> Result<Matrix, LinalgError> {
+    ridge_fit_with(x, y, beta, RidgeMode::Auto)
+}
+
+/// Like [`ridge_fit`] but with an explicit [`RidgeMode`].
+///
+/// # Errors
+///
+/// Same as [`ridge_fit`].
+pub fn ridge_fit_with(
+    x: &Matrix,
+    y: &Matrix,
+    beta: f64,
+    mode: RidgeMode,
+) -> Result<Matrix, LinalgError> {
+    if x.rows() != y.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ridge_fit",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LinalgError::Empty { op: "ridge_fit" });
+    }
+    let use_primal = match mode {
+        RidgeMode::Primal => true,
+        RidgeMode::Dual => false,
+        RidgeMode::Auto => x.cols() <= x.rows(),
+    };
+    if use_primal {
+        // (XᵀX + βI) W = Xᵀ Y
+        let mut gram = x.t_matmul(x)?;
+        for i in 0..gram.rows() {
+            gram[(i, i)] += beta;
+        }
+        let rhs = x.t_matmul(y)?;
+        Cholesky::factor(&gram)?.solve(&rhs)
+    } else {
+        // W = Xᵀ (XXᵀ + βI)⁻¹ Y
+        let mut gram = x.matmul_t(x)?;
+        for i in 0..gram.rows() {
+            gram[(i, i)] += beta;
+        }
+        let alpha = Cholesky::factor(&gram)?.solve(y)?;
+        x.t_matmul(&alpha)
+    }
+}
+
+/// Ridge regression with an intercept column.
+///
+/// Augments `x` with a trailing constant-1 feature so the model is
+/// `Y ≈ X W + 1·bᵀ`; returns `(W, b)` with `W` of shape `p x q` and `b` of
+/// length `q`. The intercept is regularised together with the weights,
+/// matching the paper's readout (which treats `b` as one more feature of the
+/// augmented representation `x' = [x, 1]`).
+///
+/// # Errors
+///
+/// Same as [`ridge_fit`].
+pub fn ridge_fit_intercept(
+    x: &Matrix,
+    y: &Matrix,
+    beta: f64,
+) -> Result<(Matrix, Vec<f64>), LinalgError> {
+    let n = x.rows();
+    let p = x.cols();
+    let mut aug = Matrix::zeros(n, p + 1);
+    for i in 0..n {
+        let row = aug.row_mut(i);
+        row[..p].copy_from_slice(x.row(i));
+        row[p] = 1.0;
+    }
+    let w_aug = ridge_fit(&aug, y, beta)?;
+    let q = w_aug.cols();
+    let mut w = Matrix::zeros(p, q);
+    for i in 0..p {
+        w.row_mut(i).copy_from_slice(w_aug.row(i));
+    }
+    let b = w_aug.row(p).to_vec();
+    Ok((w, b))
+}
+
+/// Mean squared error between predictions `X W` and targets `Y`,
+/// averaged over all elements.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on incompatible shapes.
+pub fn mse(x: &Matrix, w: &Matrix, y: &Matrix) -> Result<f64, LinalgError> {
+    let pred = x.matmul(w)?;
+    if pred.shape() != y.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "mse",
+            lhs: pred.shape(),
+            rhs: y.shape(),
+        });
+    }
+    let diff = &pred - y;
+    Ok(diff.as_slice().iter().map(|d| d * d).sum::<f64>() / (y.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Matrix) {
+        // y = x0 - 2 x1 + noise-free
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, -1.0],
+            &[0.5, 0.5],
+        ])
+        .unwrap();
+        let y = Matrix::from_vec(
+            5,
+            1,
+            x.as_slice()
+                .chunks(2)
+                .map(|r| r[0] - 2.0 * r[1])
+                .collect(),
+        )
+        .unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_linear_map_small_beta() {
+        let (x, y) = toy();
+        let w = ridge_fit(&x, &y, 1e-10).unwrap();
+        assert!((w[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((w[(1, 0)] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn primal_equals_dual() {
+        let (x, y) = toy();
+        for beta in [1e-6, 1e-2, 1.0] {
+            let wp = ridge_fit_with(&x, &y, beta, RidgeMode::Primal).unwrap();
+            let wd = ridge_fit_with(&x, &y, beta, RidgeMode::Dual).unwrap();
+            for i in 0..wp.rows() {
+                assert!(
+                    (wp[(i, 0)] - wd[(i, 0)]).abs() < 1e-8,
+                    "beta={beta} row {i}: {} vs {}",
+                    wp[(i, 0)],
+                    wd[(i, 0)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_beta_shrinks_weights() {
+        let (x, y) = toy();
+        let w_small = ridge_fit(&x, &y, 1e-8).unwrap();
+        let w_big = ridge_fit(&x, &y, 100.0).unwrap();
+        assert!(w_big.frobenius_norm() < w_small.frobenius_norm());
+    }
+
+    #[test]
+    fn intercept_fits_offset_data() {
+        // y = 3 + 2 x
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        let y = Matrix::from_rows(&[&[3.0], &[5.0], &[7.0], &[9.0]]).unwrap();
+        let (w, b) = ridge_fit_intercept(&x, &y, 1e-9).unwrap();
+        assert!((w[(0, 0)] - 2.0).abs() < 1e-4);
+        assert!((b[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let x = Matrix::zeros(3, 2);
+        let y = Matrix::zeros(4, 1);
+        assert!(ridge_fit(&x, &y, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_is_error() {
+        let x = Matrix::zeros(0, 0);
+        let y = Matrix::zeros(0, 1);
+        assert!(matches!(
+            ridge_fit(&x, &y, 1.0).unwrap_err(),
+            LinalgError::Empty { .. }
+        ));
+    }
+
+    #[test]
+    fn mse_zero_for_exact_fit() {
+        let (x, y) = toy();
+        let w = ridge_fit(&x, &y, 1e-12).unwrap();
+        assert!(mse(&x, &w, &y).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn multi_target_columns() {
+        let (x, y1) = toy();
+        // Second target = 5*x1.
+        let mut y = Matrix::zeros(5, 2);
+        for i in 0..5 {
+            y[(i, 0)] = y1[(i, 0)];
+            y[(i, 1)] = 5.0 * x[(i, 1)];
+        }
+        let w = ridge_fit(&x, &y, 1e-10).unwrap();
+        assert!((w[(1, 1)] - 5.0).abs() < 1e-6);
+        assert!((w[(0, 1)]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use dfr_linalg::activation::{cross_entropy_from_logits, log_sum_exp, softmax};
+use dfr_linalg::cholesky::Cholesky;
+use dfr_linalg::ridge::{ridge_fit_with, RidgeMode};
+use dfr_linalg::{dot, Matrix};
+use proptest::prelude::*;
+
+/// Strategy for a matrix of the given shape with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized correctly"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(5, 4)) {
+        // (A Bᵀ)ᵀ = B Aᵀ
+        let left = a.matmul_t(&b).unwrap().transpose();
+        let right = b.matmul_t(&a).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit(a in matrix(4, 3), b in matrix(4, 2)) {
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dot_bilinear(v in proptest::collection::vec(-5.0_f64..5.0, 6),
+                    w in proptest::collection::vec(-5.0_f64..5.0, 6),
+                    alpha in -3.0_f64..3.0) {
+        let scaled: Vec<f64> = v.iter().map(|x| alpha * x).collect();
+        prop_assert!((dot(&scaled, &w) - alpha * dot(&v, &w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(m in matrix(4, 4)) {
+        // A = M Mᵀ + I is always SPD.
+        let mut a = m.matmul_t(&m).unwrap();
+        for i in 0..4 { a[(i, i)] += 1.0; }
+        let c = Cholesky::factor(&a).unwrap();
+        let rec = c.factor_l().matmul_t(c.factor_l()).unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(m in matrix(4, 4),
+                                 b in proptest::collection::vec(-5.0_f64..5.0, 4)) {
+        let mut a = m.matmul_t(&m).unwrap();
+        for i in 0..4 { a[(i, i)] += 1.0; }
+        let x = Cholesky::factor(&a).unwrap().solve_vec(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ridge_primal_equals_dual(x in matrix(6, 4), y in matrix(6, 2),
+                                beta in 1e-4_f64..10.0) {
+        let wp = ridge_fit_with(&x, &y, beta, RidgeMode::Primal).unwrap();
+        let wd = ridge_fit_with(&x, &y, beta, RidgeMode::Dual).unwrap();
+        for (a, b) in wp.as_slice().iter().zip(wd.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_normalised_and_shift_invariant(
+        logits in proptest::collection::vec(-50.0_f64..50.0, 1..8),
+        shift in -100.0_f64..100.0,
+    ) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let shifted: Vec<f64> = logits.iter().map(|x| x + shift).collect();
+        let q = softmax(&shifted);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(logits in proptest::collection::vec(-50.0_f64..50.0, 1..8)) {
+        // max ≤ lse ≤ max + ln(n)
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&logits);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (logits.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(
+        logits in proptest::collection::vec(-20.0_f64..20.0, 2..6),
+        class in 0usize..6,
+    ) {
+        let k = class % logits.len();
+        let mut d = vec![0.0; logits.len()];
+        d[k] = 1.0;
+        prop_assert!(cross_entropy_from_logits(&logits, &d) >= -1e-12);
+    }
+}

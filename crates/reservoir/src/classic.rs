@@ -1,0 +1,324 @@
+//! Classic DFR models: the digital discretisation (paper Eq. 8) and an
+//! Euler-integrated analog Mackey–Glass delay-differential model
+//! (paper Eqs. 2–3).
+//!
+//! These are the substrates the paper's introduction describes; the
+//! evaluation itself runs on the [modular model](crate::modular). They are
+//! kept for completeness and for cross-validation: the digital model is a
+//! special case of the modular recurrence
+//! (`A = η(1−e^{−θ})`, `B = e^{−θ}`, `f` = Mackey–Glass), and the analog
+//! model converges to the digital one as the integration step shrinks when
+//! the nonlinear drive is held constant over each virtual-node interval —
+//! exactly the assumption under which the paper derives Eq. 5.
+
+use crate::mask::Mask;
+use crate::nonlinearity::{MackeyGlass, Nonlinearity};
+use crate::ReservoirError;
+use dfr_linalg::Matrix;
+
+/// The classic *digital* DFR (paper Eq. 8):
+///
+/// ```text
+/// x(k)_n = x(k)_{n−1}·e^{−θ} + (1 − e^{−θ})·η·f(x(k−1)_n + γ·j(k)_n)
+/// ```
+///
+/// with the Mackey–Glass fraction `f(v) = v / (1 + vᵖ)`.
+///
+/// # Example
+///
+/// ```
+/// use dfr_linalg::Matrix;
+/// use dfr_reservoir::classic::DigitalDfr;
+/// use dfr_reservoir::mask::Mask;
+///
+/// # fn main() -> Result<(), dfr_reservoir::ReservoirError> {
+/// let dfr = DigitalDfr::new(Mask::binary(10, 1, 0), 0.5, 0.05, 1, 0.2)?;
+/// let states = dfr.run(&Matrix::filled(20, 1, 1.0))?;
+/// assert_eq!(states.shape(), (20, 10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitalDfr {
+    mask: Mask,
+    /// Nonlinearity gain `η`.
+    eta: f64,
+    /// Input gain `γ`.
+    gamma: f64,
+    /// Mackey–Glass exponent `p`.
+    nonlinearity: MackeyGlass,
+    /// Virtual-node spacing `θ`.
+    theta: f64,
+}
+
+impl DigitalDfr {
+    /// Builds a digital DFR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservoirError::InvalidParameter`] if `eta`/`gamma` are not
+    /// finite or `theta <= 0`.
+    pub fn new(
+        mask: Mask,
+        eta: f64,
+        gamma: f64,
+        p: u32,
+        theta: f64,
+    ) -> Result<Self, ReservoirError> {
+        if !eta.is_finite() {
+            return Err(ReservoirError::InvalidParameter {
+                name: "eta",
+                value: eta,
+            });
+        }
+        if !gamma.is_finite() {
+            return Err(ReservoirError::InvalidParameter {
+                name: "gamma",
+                value: gamma,
+            });
+        }
+        if !(theta.is_finite() && theta > 0.0) {
+            return Err(ReservoirError::InvalidParameter {
+                name: "theta",
+                value: theta,
+            });
+        }
+        Ok(DigitalDfr {
+            mask,
+            eta,
+            gamma,
+            nonlinearity: MackeyGlass::new(p),
+            theta,
+        })
+    }
+
+    /// The equivalent modular-model gain `A = η·(1 − e^{−θ})`.
+    pub fn equivalent_a(&self) -> f64 {
+        self.eta * (1.0 - (-self.theta).exp())
+    }
+
+    /// The equivalent modular-model leak `B = e^{−θ}`.
+    pub fn equivalent_b(&self) -> f64 {
+        (-self.theta).exp()
+    }
+
+    /// Number of virtual nodes `N_x`.
+    pub fn nodes(&self) -> usize {
+        self.mask.nodes()
+    }
+
+    /// Runs the reservoir, returning the `T × N_x` state history.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReservoirError::ChannelMismatch`] on a channel-count mismatch.
+    /// * [`ReservoirError::Diverged`] if a state becomes non-finite.
+    pub fn run(&self, series: &Matrix) -> Result<Matrix, ReservoirError> {
+        if series.cols() != self.mask.channels() {
+            return Err(ReservoirError::ChannelMismatch {
+                mask_channels: self.mask.channels(),
+                input_channels: series.cols(),
+            });
+        }
+        let masked = self.mask.apply(series);
+        let nx = self.nodes();
+        let t_len = masked.rows();
+        let b = self.equivalent_b();
+        let a = self.equivalent_a();
+        let mut states = Matrix::zeros(t_len, nx);
+        let mut prev_chain = 0.0;
+        for k in 0..t_len {
+            for n in 0..nx {
+                let delayed = if k == 0 { 0.0 } else { states[(k - 1, n)] };
+                let v = delayed + self.gamma * masked[(k, n)];
+                let s = prev_chain * b + a * self.nonlinearity.eval(v);
+                if !s.is_finite() || s.abs() > crate::modular::DIVERGENCE_LIMIT {
+                    return Err(ReservoirError::Diverged { step: k });
+                }
+                states[(k, n)] = s;
+                prev_chain = s;
+            }
+        }
+        Ok(states)
+    }
+}
+
+/// An *analog* Mackey–Glass DFR, integrated with the explicit Euler method
+/// (paper Eqs. 2–3):
+///
+/// ```text
+/// dx/dt = −x(t) + η·f(x(t−τ) + γ·j(t)),   f(v) = v / (1 + vᵖ)
+/// ```
+///
+/// The delayed term and the masked input are sampled-and-held at the start
+/// of each virtual-node interval `θ` — the same "f constant over θ"
+/// assumption under which the paper derives the closed-form digital update
+/// (Eq. 5) — so with `substeps → ∞` this model converges to [`DigitalDfr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogDfr {
+    digital: DigitalDfr,
+    substeps: usize,
+}
+
+impl AnalogDfr {
+    /// Builds an analog DFR with `substeps` Euler steps per virtual node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservoirError::InvalidParameter`] if `substeps == 0` or
+    /// any [`DigitalDfr::new`] validation fails.
+    pub fn new(
+        mask: Mask,
+        eta: f64,
+        gamma: f64,
+        p: u32,
+        theta: f64,
+        substeps: usize,
+    ) -> Result<Self, ReservoirError> {
+        if substeps == 0 {
+            return Err(ReservoirError::InvalidParameter {
+                name: "substeps",
+                value: 0.0,
+            });
+        }
+        Ok(AnalogDfr {
+            digital: DigitalDfr::new(mask, eta, gamma, p, theta)?,
+            substeps,
+        })
+    }
+
+    /// Number of virtual nodes `N_x`.
+    pub fn nodes(&self) -> usize {
+        self.digital.nodes()
+    }
+
+    /// Runs the integrator, sampling the state at the end of each
+    /// virtual-node interval — the same observation points as the digital
+    /// model — and returning the `T × N_x` history.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReservoirError::ChannelMismatch`] on a channel-count mismatch.
+    /// * [`ReservoirError::Diverged`] if the state becomes non-finite.
+    pub fn run(&self, series: &Matrix) -> Result<Matrix, ReservoirError> {
+        let d = &self.digital;
+        if series.cols() != d.mask.channels() {
+            return Err(ReservoirError::ChannelMismatch {
+                mask_channels: d.mask.channels(),
+                input_channels: series.cols(),
+            });
+        }
+        let masked = d.mask.apply(series);
+        let nx = self.nodes();
+        let t_len = masked.rows();
+        let dt = d.theta / self.substeps as f64;
+        let mut states = Matrix::zeros(t_len, nx);
+        let mut x = 0.0; // continuous state at the current time
+        for k in 0..t_len {
+            for n in 0..nx {
+                // Sample-and-hold of the delayed feedback (previous input
+                // step, same node) and the masked input over this interval.
+                let delayed = if k == 0 { 0.0 } else { states[(k - 1, n)] };
+                let drive = d.eta * d.nonlinearity.eval(delayed + d.gamma * masked[(k, n)]);
+                for _ in 0..self.substeps {
+                    x += dt * (-x + drive);
+                }
+                if !x.is_finite() || x.abs() > crate::modular::DIVERGENCE_LIMIT {
+                    return Err(ReservoirError::Diverged { step: k });
+                }
+                states[(k, n)] = x;
+            }
+        }
+        Ok(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::ModularDfr;
+
+    fn mask() -> Mask {
+        Mask::binary(6, 1, 11)
+    }
+
+    fn input() -> Matrix {
+        // A deterministic non-constant drive.
+        let data: Vec<f64> = (0..30).map(|t| ((t as f64) * 0.7).sin() * 0.5).collect();
+        Matrix::from_vec(30, 1, data).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(DigitalDfr::new(mask(), f64::NAN, 1.0, 1, 0.2).is_err());
+        assert!(DigitalDfr::new(mask(), 1.0, f64::INFINITY, 1, 0.2).is_err());
+        assert!(DigitalDfr::new(mask(), 1.0, 1.0, 1, 0.0).is_err());
+        assert!(DigitalDfr::new(mask(), 1.0, 1.0, 1, -0.5).is_err());
+        assert!(AnalogDfr::new(mask(), 1.0, 1.0, 1, 0.2, 0).is_err());
+    }
+
+    #[test]
+    fn digital_is_special_case_of_modular() {
+        // With γ = 1 the digital DFR must equal the modular DFR with
+        // A = η(1−e^{−θ}), B = e^{−θ} and the MG nonlinearity.
+        let digital = DigitalDfr::new(mask(), 0.8, 1.0, 2, 0.25).unwrap();
+        let modular = ModularDfr::new(
+            mask(),
+            digital.equivalent_a(),
+            digital.equivalent_b(),
+            MackeyGlass::new(2),
+        )
+        .unwrap();
+        let s1 = digital.run(&input()).unwrap();
+        let s2 = modular.run(&input()).unwrap();
+        for (a, b) in s1.as_slice().iter().zip(s2.states().as_slice()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn analog_converges_to_digital() {
+        // p = 2 keeps the Mackey–Glass fraction smooth on all of ℝ (the
+        // p = 1 pole at v = −1 would make the comparison chaotic).
+        let digital = DigitalDfr::new(mask(), 0.7, 0.6, 2, 0.2).unwrap();
+        let reference = digital.run(&input()).unwrap();
+        let mut prev_err = f64::INFINITY;
+        for substeps in [4, 16, 64, 256] {
+            let analog = AnalogDfr::new(mask(), 0.7, 0.6, 2, 0.2, substeps).unwrap();
+            let approx = analog.run(&input()).unwrap();
+            let err = (&approx - &reference).max_abs();
+            assert!(
+                err < prev_err || err < 1e-10,
+                "error should shrink: {err} after {prev_err}"
+            );
+            prev_err = err;
+        }
+        // 256 substeps of explicit Euler on a stiff-free interval: tight.
+        assert!(prev_err < 1e-3, "final error {prev_err}");
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let digital = DigitalDfr::new(mask(), 0.5, 1.0, 1, 0.2).unwrap();
+        assert!(digital.run(&Matrix::zeros(5, 2)).is_err());
+        let analog = AnalogDfr::new(mask(), 0.5, 1.0, 1, 0.2, 4).unwrap();
+        assert!(analog.run(&Matrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn equivalent_params_formulas() {
+        let d = DigitalDfr::new(mask(), 2.0, 1.0, 1, 0.5).unwrap();
+        assert!((d.equivalent_b() - (-0.5_f64).exp()).abs() < 1e-15);
+        assert!((d.equivalent_a() - 2.0 * (1.0 - (-0.5_f64).exp())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        let d = DigitalDfr::new(mask(), 0.9, 1.0, 1, 0.2).unwrap();
+        let s = d.run(&Matrix::zeros(10, 1)).unwrap();
+        assert!(s.as_slice().iter().all(|&x| x == 0.0));
+        let a = AnalogDfr::new(mask(), 0.9, 1.0, 1, 0.2, 8).unwrap();
+        let s = a.run(&Matrix::zeros(10, 1)).unwrap();
+        assert!(s.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

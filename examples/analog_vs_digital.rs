@@ -1,0 +1,70 @@
+//! Cross-validate the three reservoir models the paper discusses: the
+//! analog Mackey–Glass delay-differential DFR (Eqs. 2–3, Euler-integrated),
+//! its digital closed-form discretisation (Eq. 8), and the modular model
+//! (Eq. 13) the backpropagation contribution is built on.
+//!
+//! The digital model is exactly a modular DFR with `A = η(1 − e^{−θ})`,
+//! `B = e^{−θ}` and the Mackey–Glass nonlinearity; the analog integrator
+//! converges to the digital model as its step count grows. This example
+//! demonstrates both facts numerically — the justification for optimizing
+//! the modular model and deploying the result on either substrate.
+//!
+//! ```text
+//! cargo run --release --example analog_vs_digital
+//! ```
+
+use dfr::linalg::Matrix;
+use dfr::reservoir::classic::{AnalogDfr, DigitalDfr};
+use dfr::reservoir::mask::Mask;
+use dfr::reservoir::modular::ModularDfr;
+use dfr::reservoir::nonlinearity::MackeyGlass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = 20;
+    let (eta, gamma, p, theta) = (0.8, 0.6, 2, 0.25);
+    let mask = Mask::binary(nodes, 1, 42);
+
+    // A deterministic test drive.
+    let t_len = 60;
+    let data: Vec<f64> = (0..t_len).map(|t| ((t as f64) * 0.5).sin() * 0.7).collect();
+    let input = Matrix::from_vec(t_len, 1, data)?;
+
+    // 1. Digital DFR (paper Eq. 8).
+    let digital = DigitalDfr::new(mask.clone(), eta, gamma, p, theta)?;
+    let digital_states = digital.run(&input)?;
+    println!(
+        "digital DFR: η = {eta}, γ = {gamma}, p = {p}, θ = {theta} → A = {:.4}, B = {:.4}",
+        digital.equivalent_a(),
+        digital.equivalent_b()
+    );
+
+    // 2. The same reservoir expressed as a modular DFR (paper Eq. 13).
+    //    The input gain γ is folded into the mask.
+    let scaled_mask = Mask::from_matrix(&mask.matrix().clone() * gamma);
+    let modular = ModularDfr::new(
+        scaled_mask,
+        digital.equivalent_a(),
+        digital.equivalent_b(),
+        MackeyGlass::new(p),
+    )?;
+    let modular_states = modular.run(&input)?;
+    let diff = (&modular_states.states().clone() - &digital_states).max_abs();
+    println!("modular ≡ digital: max |difference| = {diff:.2e} (exact identity)");
+
+    // 3. Euler-integrated analog model (paper Eqs. 2–3) at increasing
+    //    resolution.
+    println!("\nanalog integrator convergence to the digital closed form:");
+    println!("  substeps   max |analog − digital|");
+    for substeps in [2usize, 8, 32, 128, 512] {
+        let analog = AnalogDfr::new(mask.clone(), eta, gamma, p, theta, substeps)?;
+        let analog_states = analog.run(&input)?;
+        let err = (&analog_states - &digital_states).max_abs();
+        println!("  {substeps:>8}   {err:.6}");
+    }
+    println!(
+        "\nThe closed form (Eq. 5/8) is the exact solution of the interval ODE, so the\n\
+         explicit-Euler error shrinks linearly with the step size — the modular model\n\
+         optimized by backpropagation describes the analog hardware faithfully."
+    );
+    Ok(())
+}

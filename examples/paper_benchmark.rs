@@ -1,0 +1,71 @@
+//! Run the paper's pipeline end to end on one of the 12 benchmark
+//! stand-ins and compare backpropagation against a small grid search —
+//! a one-dataset slice of Table 1.
+//!
+//! ```text
+//! cargo run --release --example paper_benchmark            # JPVOW
+//! cargo run --release --example paper_benchmark -- ECG     # any code
+//! ```
+
+use dfr::core::grid::{grid_search, GridOptions};
+use dfr::core::metrics::ConfusionMatrix;
+use dfr::core::trainer::{train, TrainOptions};
+use dfr::data::{paper_dataset, PaperDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args()
+        .nth(1)
+        .map(|code| PaperDataset::from_code(&code))
+        .transpose()?
+        .unwrap_or(PaperDataset::Jpvow);
+
+    let mut dataset = paper_dataset(which);
+    dfr::data::normalize::standardize(&mut dataset);
+    let spec = which.spec();
+    println!(
+        "{which}: N_y = {}, T = {}, channels = {}, {}+{} samples",
+        spec.num_classes, spec.length, spec.channels, spec.train_size, spec.test_size
+    );
+
+    // Backpropagation (the paper's proposal).
+    let bp = train(&dataset, &TrainOptions::calibrated())?;
+    println!(
+        "\nbackpropagation: accuracy {:.3} in {:.2} s (A = {:.4}, B = {:.4}, β = {:.0e})",
+        bp.test_accuracy,
+        bp.total_seconds(),
+        bp.model.reservoir().a(),
+        bp.model.reservoir().b(),
+        bp.beta
+    );
+
+    // Grid search until it matches (the paper's baseline).
+    let gs = grid_search(
+        &dataset,
+        &GridOptions {
+            max_divisions: 12,
+            ..GridOptions::default()
+        },
+        bp.test_accuracy,
+    )?;
+    println!(
+        "grid search:     accuracy {:.3} in {:.2} s ({} divisions, {} evaluations)",
+        gs.best.test_accuracy,
+        gs.total_seconds,
+        gs.final_divisions(),
+        gs.evaluations
+    );
+    println!(
+        "speed-up of backpropagation: {:.1}x",
+        gs.total_seconds / bp.total_seconds().max(1e-9)
+    );
+
+    // Confusion matrix of the backpropagation model on the test split.
+    let mut predictions = Vec::new();
+    for s in dataset.test() {
+        predictions.push(bp.model.predict(&s.series)?);
+    }
+    let labels: Vec<usize> = dataset.test().iter().map(|s| s.label).collect();
+    let cm = ConfusionMatrix::from_predictions(&predictions, &labels, dataset.num_classes());
+    println!("\nconfusion matrix (true x predicted):\n{cm}");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the DFR-backpropagation reproduction.
+//!
+//! Re-exports the four workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices, Cholesky, ridge regression, softmax.
+//! * [`data`] — synthetic stand-ins for the paper's 12 datasets.
+//! * [`reservoir`] — modular / digital / analog DFR models, masks,
+//!   nonlinearities and reservoir representations.
+//! * [`core`] — backpropagation (full + truncated), the SGD trainer, the
+//!   grid-search baseline, the Table 2 memory model and metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dfr::core::trainer::{train, TrainOptions};
+//! use dfr::data::DatasetSpec;
+//!
+//! # fn main() -> Result<(), dfr::core::CoreError> {
+//! let mut ds = DatasetSpec::new("hello", 2, 30, 2, 16, 16, 0.4).build(0);
+//! dfr::data::normalize::standardize(&mut ds);
+//! let report = train(&ds, &TrainOptions::fast_demo())?;
+//! println!("test accuracy: {:.3}", report.test_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dfr_core as core;
+pub use dfr_data as data;
+pub use dfr_linalg as linalg;
+pub use dfr_reservoir as reservoir;

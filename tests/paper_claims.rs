@@ -1,0 +1,132 @@
+//! Integration tests pinning the paper's quantitative claims that are
+//! exactly reproducible (Table 2, §3.4 arithmetic) and the structural
+//! claims of the backpropagation derivation.
+
+use dfr::core::backprop::{backprop, BackpropMode, BackpropOptions};
+use dfr::core::memory::{MemoryModel, TABLE2_ROWS};
+use dfr::core::DfrClassifier;
+use dfr::data::PaperDataset;
+use dfr::linalg::Matrix;
+
+#[test]
+fn table2_reproduced_exactly_for_all_12_datasets() {
+    for (name, t, ny, naive, simplified) in TABLE2_ROWS {
+        let m = MemoryModel::new(t, 30, ny);
+        assert_eq!(m.naive(), naive, "{name}");
+        assert_eq!(m.simplified(), simplified, "{name}");
+    }
+}
+
+#[test]
+fn dataset_specs_agree_with_table2_dimensions() {
+    for ds in PaperDataset::ALL {
+        let spec = ds.spec();
+        let row = TABLE2_ROWS
+            .iter()
+            .find(|(name, ..)| *name == spec.name)
+            .expect("every dataset has a Table 2 row");
+        assert_eq!(spec.length, row.1, "{} length", spec.name);
+        assert_eq!(spec.num_classes, row.2, "{} classes", spec.name);
+    }
+}
+
+#[test]
+fn memory_reduction_claims_of_section_3_4() {
+    // "for datasets with T > 100 the state memory drops below 2 %".
+    for (name, t, ny, _, _) in TABLE2_ROWS {
+        if t > 100 {
+            let m = MemoryModel::new(t, 30, ny);
+            let ratio = m.simplified_state_values() as f64 / m.naive_state_values() as f64;
+            assert!(ratio < 0.02, "{name}: {ratio}");
+        }
+    }
+    // "three classes, T = 500, N_x = 30 → approximately 80 %".
+    let scenario = MemoryModel::new(500, 30, 3);
+    assert!((scenario.reduction() - 0.80).abs() < 0.03);
+}
+
+/// Backprop compute drops by roughly 1/T with truncation: count the
+/// reservoir-layer work via the window the mode touches.
+#[test]
+fn truncated_backprop_touches_constant_state_count() {
+    for t in [10usize, 100, 1000] {
+        assert_eq!(BackpropMode::PAPER_TRUNCATED.effective_window(t), 1);
+        assert_eq!(BackpropMode::Full.effective_window(t), t);
+    }
+}
+
+/// The paper's central derivation, checked numerically at N_x = 30 — the
+/// evaluation size — not just on toy dimensions.
+#[test]
+fn gradient_check_at_paper_scale() {
+    let mut model = DfrClassifier::paper_default(30, 3, 4, 0).expect("model");
+    model.reservoir_mut().set_params(0.12, 0.21).expect("params");
+    for j in 0..model.feature_dim() {
+        model.w_out_mut()[(0, j)] = 0.004 * ((j % 13) as f64 - 6.0);
+        model.w_out_mut()[(3, j)] = -0.003 * ((j % 5) as f64 - 2.0);
+    }
+    let t_len = 20;
+    let data: Vec<f64> = (0..t_len * 3).map(|i| ((i as f64) * 0.47).sin()).collect();
+    let series = Matrix::from_vec(t_len, 3, data).expect("series");
+    let target = [0.0, 0.0, 0.0, 1.0];
+
+    let cache = model.forward(&series).expect("forward");
+    let (_, grads) = backprop(
+        &model,
+        &series,
+        &cache,
+        &target,
+        &BackpropOptions {
+            mode: BackpropMode::Full,
+            mask_gradient: false,
+        },
+    )
+    .expect("backprop");
+
+    let h = 1e-6;
+    let loss_at = |a: f64, b: f64| {
+        let mut m = model.clone();
+        m.reservoir_mut().set_params(a, b).expect("params");
+        m.forward(&series).expect("forward").loss(&target)
+    };
+    let (a0, b0) = (0.12, 0.21);
+    let fd_a = (loss_at(a0 + h, b0) - loss_at(a0 - h, b0)) / (2.0 * h);
+    let fd_b = (loss_at(a0, b0 + h) - loss_at(a0, b0 - h)) / (2.0 * h);
+    assert!(
+        (grads.a - fd_a).abs() < 1e-5 * (1.0 + fd_a.abs()),
+        "dL/dA analytic {} vs fd {fd_a}",
+        grads.a
+    );
+    assert!(
+        (grads.b - fd_b).abs() < 1e-5 * (1.0 + fd_b.abs()),
+        "dL/dB analytic {} vs fd {fd_b}",
+        grads.b
+    );
+}
+
+/// Eq. 8 ≡ Eq. 13 under the parameter mapping the modular-DFR paper gives —
+/// the correctness argument for optimizing the modular model.
+#[test]
+fn digital_dfr_is_modular_special_case() {
+    use dfr::reservoir::classic::DigitalDfr;
+    use dfr::reservoir::mask::Mask;
+    use dfr::reservoir::modular::ModularDfr;
+    use dfr::reservoir::nonlinearity::MackeyGlass;
+
+    let mask = Mask::binary(8, 2, 5);
+    let digital = DigitalDfr::new(mask.clone(), 0.9, 1.0, 2, 0.3).expect("digital");
+    let modular = ModularDfr::new(
+        mask,
+        digital.equivalent_a(),
+        digital.equivalent_b(),
+        MackeyGlass::new(2),
+    )
+    .expect("modular");
+    let data: Vec<f64> = (0..50 * 2).map(|i| ((i as f64) * 0.31).cos()).collect();
+    let input = Matrix::from_vec(50, 2, data).expect("input");
+    let ds = digital.run(&input).expect("digital run");
+    let ms = modular.run(&input).expect("modular run");
+    for (a, b) in ds.as_slice().iter().zip(ms.states().as_slice()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
