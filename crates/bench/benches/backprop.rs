@@ -64,7 +64,9 @@ fn bench_forward_plus_backward(c: &mut Criterion) {
                 mask_gradient: false,
             };
             b.iter(|| {
-                let cache = model.forward(std::hint::black_box(&series)).expect("stable");
+                let cache = model
+                    .forward(std::hint::black_box(&series))
+                    .expect("stable");
                 backprop(&model, &series, &cache, &target, &options).expect("gradients")
             })
         });

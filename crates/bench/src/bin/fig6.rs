@@ -34,7 +34,9 @@ fn main() {
     println!(
         "Fig. 6 — grid-search accuracy landscape on {which} (rows: A high→low? no: A index 0..{divisions}, cols: B)",
     );
-    println!("level 1 ({divisions}x{divisions}, full box A∈[1e-3.75,1e-0.25], B∈[1e-2.75,1e-0.25]):");
+    println!(
+        "level 1 ({divisions}x{divisions}, full box A∈[1e-3.75,1e-0.25], B∈[1e-2.75,1e-0.25]):"
+    );
     print!("{}", ascii_heatmap(&level1));
 
     // Level 2: recursive refinement into the best coarse cell.
@@ -56,7 +58,10 @@ fn main() {
         ..options.clone()
     };
     let level2 = landscape(&ds, &zoom, divisions).expect("zoom landscape failed");
-    println!("\nlevel 2 (zoom into the best coarse cell around A={:.3}, B={:.3}):", coarse_best.a, coarse_best.b);
+    println!(
+        "\nlevel 2 (zoom into the best coarse cell around A={:.3}, B={:.3}):",
+        coarse_best.a, coarse_best.b
+    );
     print!("{}", ascii_heatmap(&level2));
 
     // Global reference: a uniform fine grid of the same total budget as
@@ -67,11 +72,19 @@ fn main() {
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);
-    println!("\ncoarse best accuracy:    {:.3} at (A={:.4}, B={:.4})", coarse_best.test_accuracy, coarse_best.a, coarse_best.b);
-    println!("refined best accuracy:   {:.3} at (A={:.4}, B={:.4})", refined_best.test_accuracy, refined_best.a, refined_best.b);
+    println!(
+        "\ncoarse best accuracy:    {:.3} at (A={:.4}, B={:.4})",
+        coarse_best.test_accuracy, coarse_best.a, coarse_best.b
+    );
+    println!(
+        "refined best accuracy:   {:.3} at (A={:.4}, B={:.4})",
+        refined_best.test_accuracy, refined_best.a, refined_best.b
+    );
     println!("uniform fine-grid best:  {global_best:.3}");
     if refined_best.test_accuracy + 1e-9 < global_best {
-        println!("→ recursive refinement MISSED the global optimum (the paper's Fig. 6 failure mode)");
+        println!(
+            "→ recursive refinement MISSED the global optimum (the paper's Fig. 6 failure mode)"
+        );
     } else {
         println!("→ recursive refinement found the global optimum on this dataset/seed");
     }

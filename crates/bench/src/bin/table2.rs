@@ -68,15 +68,15 @@ fn main() {
             m.reduction()
         );
     }
-    println!(
-        "\nmax |model − paper| over all cells: {max_diff} (0 = exact reproduction)"
-    );
+    println!("\nmax |model − paper| over all cells: {max_diff} (0 = exact reproduction)");
 
     // Window sweep for the paper's example scenario (§3.4: 3 classes,
     // T = 500, N_x = 30 → ≈80 % reduction).
     let scenario = MemoryModel::new(500, 30, 3);
-    println!("\n§3.4 scenario (T=500, N_x=30, N_y=3): reduction = {:.1} % (paper: ~80 %)",
-        scenario.reduction() * 100.0);
+    println!(
+        "\n§3.4 scenario (T=500, N_x=30, N_y=3): reduction = {:.1} % (paper: ~80 %)",
+        scenario.reduction() * 100.0
+    );
     println!("window sweep (stored values vs truncation window W):");
     for w in [1usize, 2, 5, 10, 50, 100, 500] {
         println!("  W = {w:>4}: {:>6} values", scenario.windowed(w));

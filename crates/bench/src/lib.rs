@@ -44,10 +44,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -78,12 +75,16 @@ impl Args {
 
     /// `f64` value of a flag with a default.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// `usize` value of a flag with a default.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Comma-separated dataset list, defaulting to all 12.
@@ -93,10 +94,7 @@ impl Args {
             Some(list) => list
                 .split(',')
                 .filter(|s| !s.is_empty())
-                .map(|code| {
-                    PaperDataset::from_code(code.trim())
-                        .unwrap_or_else(|e| panic!("{e}"))
-                })
+                .map(|code| PaperDataset::from_code(code.trim()).unwrap_or_else(|e| panic!("{e}")))
                 .collect(),
         }
     }
@@ -157,10 +155,7 @@ mod tests {
         assert_eq!(a.get_usize("x", 0), 3);
         assert!(a.has("flag"));
         assert!(!a.has("missing"));
-        assert_eq!(
-            a.datasets(),
-            vec![PaperDataset::Ecg, PaperDataset::Lib]
-        );
+        assert_eq!(a.datasets(), vec![PaperDataset::Ecg, PaperDataset::Lib]);
         assert_eq!(Args::parse(std::iter::empty()).datasets().len(), 12);
     }
 

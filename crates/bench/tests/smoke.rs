@@ -1,0 +1,90 @@
+//! Smoke tests for the benchmark-harness library, so the pieces the
+//! table/figure binaries rely on are covered by `cargo test` and not only
+//! exercised by running the binaries themselves.
+
+use dfr_bench::{prepared_dataset, row, Args};
+use dfr_data::PaperDataset;
+
+#[test]
+fn args_parse_flags_values_and_defaults() {
+    let args = Args::parse(
+        ["--scale", "0.5", "--fast", "--divisions", "12"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    assert!(args.has("fast"));
+    assert!(!args.has("slow"));
+    assert_eq!(args.get("scale"), Some("0.5"));
+    assert_eq!(args.get_f64("scale", 1.0), 0.5);
+    assert_eq!(args.get_usize("divisions", 8), 12);
+    // Missing and unparsable flags fall back to the default.
+    assert_eq!(args.get_f64("missing", 2.5), 2.5);
+    assert_eq!(args.get_usize("fast", 7), 7);
+}
+
+#[test]
+fn args_flag_followed_by_flag_takes_no_value() {
+    let args = Args::parse(["--fast", "--scale", "0.5"].iter().map(|s| s.to_string()));
+    assert!(args.has("fast"));
+    assert_eq!(args.get("fast"), None);
+    assert_eq!(args.get_f64("scale", 1.0), 0.5);
+}
+
+#[test]
+fn args_dataset_selection() {
+    let all = Args::parse(std::iter::empty()).datasets();
+    assert_eq!(all.len(), 12, "default is the paper's full dataset list");
+    let some = Args::parse(["--datasets", "ecg,LIB"].iter().map(|s| s.to_string())).datasets();
+    assert_eq!(some, vec![PaperDataset::Ecg, PaperDataset::Lib]);
+}
+
+#[test]
+fn prepared_dataset_scales_splits_and_standardises() {
+    let full_spec = PaperDataset::Ecg.spec();
+    let half = prepared_dataset(PaperDataset::Ecg, 0, 0.5);
+    assert!(half.train().len() < full_spec.train_size);
+    assert!(!half.train().is_empty());
+    assert_eq!(half.num_classes(), 2);
+
+    // scale == 1.0 keeps the paper split sizes.
+    let full = prepared_dataset(PaperDataset::Jpvow, 0, 1.0);
+    assert_eq!(full.train().len(), PaperDataset::Jpvow.spec().train_size);
+
+    // Standardisation leaves every channel with roughly zero mean over the
+    // training split.
+    let channels = full.channels();
+    let mut sums = vec![0.0f64; channels];
+    let mut count = 0usize;
+    for sample in full.train() {
+        for t in 0..sample.series.rows() {
+            for (c, sum) in sums.iter_mut().enumerate() {
+                *sum += sample.series[(t, c)];
+            }
+        }
+        count += sample.series.rows();
+    }
+    for (c, sum) in sums.iter().enumerate() {
+        let mean = sum / count as f64;
+        assert!(
+            mean.abs() < 1e-9,
+            "channel {c} mean {mean} after standardize"
+        );
+    }
+}
+
+#[test]
+fn prepared_dataset_deterministic_per_seed() {
+    let a = prepared_dataset(PaperDataset::Lib, 3, 0.25);
+    let b = prepared_dataset(PaperDataset::Lib, 3, 0.25);
+    assert_eq!(a.train().len(), b.train().len());
+    assert_eq!(
+        a.train()[0].series.as_slice(),
+        b.train()[0].series.as_slice()
+    );
+}
+
+#[test]
+fn row_renders_fixed_width_cells() {
+    let line = row(&["bp".into(), "0.91".into()], &[6, 8]);
+    assert_eq!(line, "    bp      0.91");
+}

@@ -315,11 +315,7 @@ mod tests {
         Matrix::from_vec(t, c, data).unwrap()
     }
 
-    fn loss_of<N: Nonlinearity + Clone>(
-        m: &DfrClassifier<N>,
-        u: &Matrix,
-        d: &[f64],
-    ) -> f64 {
+    fn loss_of<N: Nonlinearity + Clone>(m: &DfrClassifier<N>, u: &Matrix, d: &[f64]) -> f64 {
         m.forward(u).unwrap().loss(d)
     }
 
@@ -620,6 +616,9 @@ mod tests {
         assert_eq!(BackpropMode::Full.effective_window(9), 9);
         assert_eq!(BackpropMode::Truncated { window: 3 }.effective_window(9), 3);
         assert_eq!(BackpropMode::Truncated { window: 0 }.effective_window(9), 1);
-        assert_eq!(BackpropMode::Truncated { window: 99 }.effective_window(9), 9);
+        assert_eq!(
+            BackpropMode::Truncated { window: 99 }.effective_window(9),
+            9
+        );
     }
 }

@@ -163,9 +163,7 @@ pub fn evaluate_point(
         Ok(f) => f,
         // Enormous (but finite) features can defeat the Cholesky factor; the
         // point is unusable, not the search.
-        Err(CoreError::Linalg(_)) | Err(CoreError::NumericalFailure { .. }) => {
-            return Ok(failed)
-        }
+        Err(CoreError::Linalg(_)) | Err(CoreError::NumericalFailure { .. }) => return Ok(failed),
         Err(e) => return Err(e),
     };
     let test_features = match features_for(&model, ds.test().iter().map(|s| &s.series)) {
@@ -417,10 +415,7 @@ mod tests {
         let ds = dataset();
         let map = landscape(&ds, &options(), 3).unwrap();
         assert_eq!(map.shape(), (3, 3));
-        assert!(map
-            .as_slice()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(map.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -14,11 +14,7 @@
 /// assert_eq!(dfr_core::metrics::accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
 /// ```
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
-    assert_eq!(
-        predictions.len(),
-        labels.len(),
-        "accuracy: length mismatch"
-    );
+    assert_eq!(predictions.len(), labels.len(), "accuracy: length mismatch");
     if predictions.is_empty() {
         return 0.0;
     }
@@ -95,7 +91,13 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "true\\pred {}", (0..self.num_classes).map(|j| format!("{j:>6}")).collect::<String>())?;
+        writeln!(
+            f,
+            "true\\pred {}",
+            (0..self.num_classes)
+                .map(|j| format!("{j:>6}"))
+                .collect::<String>()
+        )?;
         for i in 0..self.num_classes {
             write!(f, "{i:>9}")?;
             for j in 0..self.num_classes {

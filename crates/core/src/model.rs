@@ -278,7 +278,10 @@ mod tests {
         let expected_logit0 = 0.5 * cache.features[3];
         assert!((cache.logits[0] - expected_logit0).abs() < 1e-12);
         assert!((cache.probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert_eq!(cache.prediction(), dfr_linalg::stats::argmax(&cache.probs).unwrap());
+        assert_eq!(
+            cache.prediction(),
+            dfr_linalg::stats::argmax(&cache.probs).unwrap()
+        );
     }
 
     #[test]

@@ -282,12 +282,8 @@ impl Adam {
         );
         model.reservoir_mut().set_params(a1, b1)?;
         for i in 0..rows * cols {
-            model.w_out_mut().as_mut_slice()[i] -= lr_output
-                * adapt(
-                    m.w_out.as_slice()[i],
-                    v.w_out.as_slice()[i],
-                    self.epsilon,
-                );
+            model.w_out_mut().as_mut_slice()[i] -=
+                lr_output * adapt(m.w_out.as_slice()[i], v.w_out.as_slice()[i], self.epsilon);
         }
         for i in 0..grads.bias.len() {
             model.bias_mut()[i] -= lr_output * adapt(m.bias[i], v.bias[i], self.epsilon);
@@ -385,7 +381,7 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let (mut m, u, d) = toy_setup();
+        let (m, u, d) = toy_setup();
         let cache = m.forward(&u).unwrap();
         let (_, g) = backprop(&m, &u, &cache, &d, &BackpropOptions::default()).unwrap();
         let mut plain = Sgd::new();
@@ -394,8 +390,12 @@ mod tests {
         let mut m2 = m.clone();
         // Two identical steps: with momentum the second step is larger.
         for _ in 0..2 {
-            plain.step(&mut m1, &g, 0.001, 0.0, &ParamBounds::default()).unwrap();
-            momentum.step(&mut m2, &g, 0.001, 0.0, &ParamBounds::default()).unwrap();
+            plain
+                .step(&mut m1, &g, 0.001, 0.0, &ParamBounds::default())
+                .unwrap();
+            momentum
+                .step(&mut m2, &g, 0.001, 0.0, &ParamBounds::default())
+                .unwrap();
         }
         let d1 = (m.reservoir().a() - m1.reservoir().a()).abs();
         let d2 = (m.reservoir().a() - m2.reservoir().a()).abs();

@@ -147,17 +147,18 @@ pub fn readout_accuracy(
     labels: &[usize],
 ) -> Result<f64, CoreError> {
     let n = features.rows();
+    assert_eq!(labels.len(), n, "readout_accuracy: length mismatch");
     if n == 0 {
         return Ok(0.0);
     }
     let mut correct = 0usize;
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let mut logits = w_out.matvec(features.row(i))?;
         for (l, b) in logits.iter_mut().zip(bias) {
             *l += b;
         }
         let probs = softmax(&logits);
-        if dfr_linalg::stats::argmax(&probs) == Some(labels[i]) {
+        if dfr_linalg::stats::argmax(&probs) == Some(label) {
             correct += 1;
         }
     }

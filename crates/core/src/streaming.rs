@@ -401,8 +401,7 @@ mod tests {
         for (t, window) in [(9usize, 1usize), (9, 3), (5, 5), (1, 1)] {
             let u = series(t);
             let d = [0.0, 1.0, 0.0];
-            let (loss_ref, g_ref) =
-                reference_truncated(&m, &u, &d, window).expect("reference");
+            let (loss_ref, g_ref) = reference_truncated(&m, &u, &d, window).expect("reference");
             let cache = StreamingForward::new(window)
                 .unwrap()
                 .run(&m, &u)

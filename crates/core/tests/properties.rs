@@ -11,12 +11,7 @@ use proptest::prelude::*;
 
 /// A small classifier with bounded random readout weights and reservoir
 /// parameters in the stable region.
-fn classifier(
-    a: f64,
-    b: f64,
-    w_scale: f64,
-    seed: u64,
-) -> DfrClassifier {
+fn classifier(a: f64, b: f64, w_scale: f64, seed: u64) -> DfrClassifier {
     let mut m = DfrClassifier::paper_default(4, 2, 3, seed).expect("model");
     m.reservoir_mut().set_params(a, b).expect("stable params");
     for c in 0..3 {
@@ -134,8 +129,8 @@ proptest! {
         let cache = m.forward(&u).expect("forward");
         let (_, g) = backprop(&m, &u, &cache, &d, &BackpropOptions::default())
             .expect("backprop");
-        for k in 0..3 {
-            prop_assert!((g.bias[k] - (cache.probs[k] - d[k])).abs() < 1e-12);
+        for ((gb, p), dk) in g.bias.iter().zip(&cache.probs).zip(&d) {
+            prop_assert!((gb - (p - dk)).abs() < 1e-12);
         }
     }
 

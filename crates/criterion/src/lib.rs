@@ -1,0 +1,238 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this reproduction has no access to crates.io,
+//! so the workspace ships this API-compatible subset as a path dependency
+//! under the same crate name. The four benches in `crates/bench/benches/`
+//! compile unchanged against it; swapping in the real criterion later is a
+//! one-line change in the workspace manifest.
+//!
+//! Only the surface those benches use is implemented:
+//!
+//! * [`Criterion`] with [`Criterion::benchmark_group`] and
+//!   [`Criterion::bench_function`],
+//! * [`BenchmarkGroup`] with `bench_function`, `bench_with_input`,
+//!   `sample_size` and `finish`,
+//! * [`BenchmarkId`] with `new` and `from_parameter`,
+//! * [`Bencher::iter`],
+//! * the [`criterion_group!`] and [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up each benchmark
+//! runs until a small wall-clock budget is exhausted and the mean time per
+//! iteration is printed. That is enough for the CI smoke (`cargo bench
+//! --no-run` and a quick local `cargo bench`), not for publication-grade
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring one benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(100);
+/// Iterations run before measurement starts.
+const WARMUP_ITERS: u32 = 2;
+/// Upper bound on measured iterations, so trivially fast bodies terminate.
+const MAX_ITERS: u64 = 10_000;
+
+/// Entry point handed to benchmark functions; hands out benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, printed under a common prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; this harness sizes runs by
+    /// wall-clock budget instead, so the value is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. A no-op here; real criterion emits summary plots.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{}/{}", function, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` against the measurement budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= MEASURE_BUDGET || iterations >= MAX_ITERS {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label:<40} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    println!(
+        "{label:<40} {:>12} /iter  ({} iters)",
+        format_duration(per_iter),
+        bencher.iterations
+    );
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring criterion's
+/// macro of the same name. Arguments cargo passes (e.g. `--bench`) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(2.0), "2.000 s");
+        assert_eq!(format_duration(2e-3), "2.000 ms");
+        assert_eq!(format_duration(2e-6), "2.000 µs");
+        assert_eq!(format_duration(2e-9), "2.0 ns");
+    }
+}

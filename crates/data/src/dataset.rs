@@ -78,10 +78,7 @@ impl Dataset {
                 field: "num_classes",
             });
         }
-        let channels = train
-            .first()
-            .or_else(|| test.first())
-            .map(Sample::channels);
+        let channels = train.first().or_else(|| test.first()).map(Sample::channels);
         for s in train.iter().chain(&test) {
             if s.label >= num_classes {
                 return Err(DataError::LabelOutOfRange {
@@ -234,13 +231,7 @@ mod tests {
 
     #[test]
     fn majority_baseline_counts_test_split() {
-        let ds = Dataset::new(
-            "d",
-            2,
-            vec![],
-            vec![mk(0, 2, 1), mk(0, 2, 1), mk(1, 2, 1)],
-        )
-        .unwrap();
+        let ds = Dataset::new("d", 2, vec![], vec![mk(0, 2, 1), mk(0, 2, 1), mk(1, 2, 1)]).unwrap();
         assert!((ds.majority_baseline() - 2.0 / 3.0).abs() < 1e-12);
     }
 

@@ -202,8 +202,7 @@ impl DatasetSpec {
     /// Panics if the spec has zero classes/length/channels (specs built via
     /// [`PaperDataset::spec`] are always valid).
     pub fn build(&self, seed: u64) -> Dataset {
-        generate(self, &GeneratorOptions { seed })
-            .expect("built-in specs are valid")
+        generate(self, &GeneratorOptions { seed }).expect("built-in specs are valid")
     }
 
     /// Scales both split sizes by `factor` (at least 1 sample per split),

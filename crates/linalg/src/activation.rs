@@ -66,7 +66,13 @@ pub fn cross_entropy(y: &[f64], d: &[f64]) -> f64 {
     assert_eq!(y.len(), d.len(), "cross_entropy: length mismatch");
     -y.iter()
         .zip(d)
-        .map(|(&p, &t)| if t == 0.0 { 0.0 } else { t * p.max(1e-300).ln() })
+        .map(|(&p, &t)| {
+            if t == 0.0 {
+                0.0
+            } else {
+                t * p.max(1e-300).ln()
+            }
+        })
         .sum::<f64>()
 }
 
@@ -187,8 +193,7 @@ mod tests {
             zp[i] += h;
             let mut zm = z;
             zm[i] -= h;
-            let num = (cross_entropy_from_logits(&zp, &d)
-                - cross_entropy_from_logits(&zm, &d))
+            let num = (cross_entropy_from_logits(&zp, &d) - cross_entropy_from_logits(&zm, &d))
                 / (2.0 * h);
             assert!(
                 (num - analytic[i]).abs() < 1e-6,

@@ -179,12 +179,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = Mᵀ M + I for a fixed M, guaranteed SPD.
-        Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 6.0, 3.0],
-            &[1.0, 3.0, 7.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 3.0], &[1.0, 3.0, 7.0]]).unwrap()
     }
 
     #[test]

@@ -168,10 +168,7 @@ mod tests {
         let y = Matrix::from_vec(
             5,
             1,
-            x.as_slice()
-                .chunks(2)
-                .map(|r| r[0] - 2.0 * r[1])
-                .collect(),
+            x.as_slice().chunks(2).map(|r| r[0] - 2.0 * r[1]).collect(),
         )
         .unwrap();
         (x, y)

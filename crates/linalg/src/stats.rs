@@ -50,9 +50,10 @@ pub fn argmax(v: &[f64]) -> Option<usize> {
 /// Returns `None` for an empty slice.
 pub fn min_max(v: &[f64]) -> Option<(f64, f64)> {
     let first = *v.first()?;
-    Some(v.iter().fold((first, first), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    }))
+    Some(
+        v.iter()
+            .fold((first, first), |(lo, hi), &x| (lo.min(x), hi.max(x))),
+    )
 }
 
 /// Standardises `v` in place to zero mean and unit standard deviation.

@@ -1,0 +1,330 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this API-compatible subset as a path dependency under the same crate
+//! name. The three `crates/*/tests/properties.rs` suites compile unchanged
+//! against it. Covered surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * range strategies (`-1.0f64..1.0`, `0usize..6`, `0u64..1000`, …),
+//! * [`collection::vec`] with a fixed size or a size range,
+//! * [`Strategy::prop_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest this runner does **no shrinking** and no failure
+//! persistence: each test runs `cases` random inputs from a seed derived
+//! from the test name (so runs are reproducible) and panics on the first
+//! failing case, printing the case number.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration, mirroring proptest's type of the same name.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies; seeded per test.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded deterministically from the test name, so each
+    /// property sees a reproducible stream across runs.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.0.gen_range(lo..hi)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring proptest's combinator.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(self.start, self.end)
+    }
+}
+
+macro_rules! uint_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.uniform_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+uint_strategy_impls!(usize, u64, u32);
+
+macro_rules! sint_strategy_impls {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Shift into unsigned space so negative bounds sample
+                // correctly instead of wrapping through the u64 cast.
+                let lo = (self.start as $u) ^ (1 << (<$u>::BITS - 1));
+                let hi = (self.end as $u) ^ (1 << (<$u>::BITS - 1));
+                let v = rng.uniform_u64(lo as u64, hi as u64) as $u;
+                (v ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+sint_strategy_impls!(i64 => u64, i32 => u32);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Collection sizes: either exact or drawn from a range per case.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec<T>` with elements from `element` and length
+    /// from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.uniform_u64(self.size.lo as u64, self.size.hi_exclusive as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property, with optional format arguments.
+///
+/// Real proptest returns an error to drive shrinking; this runner simply
+/// panics, which the surrounding test harness reports.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    (@funcs ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                    let run = || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} (no shrinking in offline runner)",
+                            stringify!($name), case + 1, config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_sizes_and_ranges() {
+        let mut rng = TestRng::deterministic("vec_sizes");
+        let fixed = collection::vec(-1.0_f64..1.0, 5).sample(&mut rng);
+        assert_eq!(fixed.len(), 5);
+        for _ in 0..100 {
+            let ranged = collection::vec(0.0_f64..1.0, 2..7).sample(&mut rng);
+            assert!((2..7).contains(&ranged.len()));
+            assert!(ranged.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_bounds() {
+        let mut rng = TestRng::deterministic("signed_ranges");
+        let mut seen_negative = false;
+        for _ in 0..200 {
+            let x = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&x));
+            seen_negative |= x < 0;
+            let y = (-3i32..-1).sample(&mut rng);
+            assert!((-3..-1).contains(&y));
+        }
+        assert!(seen_negative, "negative half of the range never sampled");
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::deterministic("prop_map");
+        let doubled = (1.0_f64..2.0).prop_map(|x| x * 2.0);
+        for _ in 0..50 {
+            let v = doubled.sample(&mut rng);
+            assert!((2.0..4.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_samples_in_range(x in -3.0_f64..3.0, n in 1usize..5) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -102,8 +102,8 @@ impl Mask {
         for k in 0..t {
             let u = series.row(k);
             let row = out.row_mut(k);
-            for n in 0..nx {
-                row[n] = dfr_linalg::dot(self.matrix.row(n), u);
+            for (n, slot) in row.iter_mut().enumerate().take(nx) {
+                *slot = dfr_linalg::dot(self.matrix.row(n), u);
             }
         }
         out
@@ -135,15 +135,14 @@ mod tests {
         let m = Mask::binary(50, 1, 9);
         assert!(m.matrix().as_slice().iter().all(|&v| v.abs() == 1.0));
         // Both signs should occur in 50 draws.
-        assert!(m.matrix().as_slice().iter().any(|&v| v == 1.0));
-        assert!(m.matrix().as_slice().iter().any(|&v| v == -1.0));
+        assert!(m.matrix().as_slice().contains(&1.0));
+        assert!(m.matrix().as_slice().contains(&-1.0));
     }
 
     #[test]
     fn apply_is_matrix_product() {
-        let m = Mask::from_matrix(
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap(),
-        );
+        let m =
+            Mask::from_matrix(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap());
         let series = Matrix::from_rows(&[&[3.0, 4.0], &[1.0, -1.0]]).unwrap();
         let j = m.apply(&series);
         assert_eq!(j.shape(), (2, 3));

@@ -77,10 +77,16 @@ impl<N: Nonlinearity> ModularDfr<N> {
     /// finite.
     pub fn new(mask: Mask, a: f64, b: f64, nonlinearity: N) -> Result<Self, ReservoirError> {
         if !a.is_finite() {
-            return Err(ReservoirError::InvalidParameter { name: "A", value: a });
+            return Err(ReservoirError::InvalidParameter {
+                name: "A",
+                value: a,
+            });
         }
         if !b.is_finite() {
-            return Err(ReservoirError::InvalidParameter { name: "B", value: b });
+            return Err(ReservoirError::InvalidParameter {
+                name: "B",
+                value: b,
+            });
         }
         Ok(ModularDfr {
             mask,
@@ -107,10 +113,16 @@ impl<N: Nonlinearity> ModularDfr<N> {
     /// Returns [`ReservoirError::InvalidParameter`] for non-finite values.
     pub fn set_params(&mut self, a: f64, b: f64) -> Result<(), ReservoirError> {
         if !a.is_finite() {
-            return Err(ReservoirError::InvalidParameter { name: "A", value: a });
+            return Err(ReservoirError::InvalidParameter {
+                name: "A",
+                value: a,
+            });
         }
         if !b.is_finite() {
-            return Err(ReservoirError::InvalidParameter { name: "B", value: b });
+            return Err(ReservoirError::InvalidParameter {
+                name: "B",
+                value: b,
+            });
         }
         self.a = a;
         self.b = b;
@@ -389,8 +401,7 @@ mod tests {
         // x(k)_n = A·f(z(k)_n) + B·chain_predecessor — reconstruct and compare.
         for k in 0..run.len() {
             for n in 0..run.nodes() {
-                let rebuilt =
-                    0.3 * run.preactivation(k, n) + 0.2 * run.chain_predecessor(k, n);
+                let rebuilt = 0.3 * run.preactivation(k, n) + 0.2 * run.chain_predecessor(k, n);
                 assert!((rebuilt - run.states()[(k, n)]).abs() < 1e-12);
             }
         }

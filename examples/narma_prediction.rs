@@ -42,9 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let (w, b) = ridge_fit_intercept(&x_train, &y_train, 1e-6)?;
 
-    let predict = |t: usize| -> f64 {
-        dfr::linalg::dot(states.row(t), &w.col(0)) + b[0]
-    };
+    let predict = |t: usize| -> f64 { dfr::linalg::dot(states.row(t), &w.col(0)) + b[0] };
     let train_pred: Vec<f64> = (WARMUP..TRAIN).map(predict).collect();
     let test_pred: Vec<f64> = (TRAIN..TRAIN + TEST).map(predict).collect();
 
@@ -55,17 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  test  NMSE = {test_nmse:.4}");
 
     // A mean predictor scores NMSE = 1; the reservoir should do far better.
-    println!(
-        "  (NMSE 1.0 = predicting the mean; lower is better)"
-    );
+    println!("  (NMSE 1.0 = predicting the mean; lower is better)");
 
     // Show a few predictions against the truth.
     println!("\n  t      target  prediction");
     for (i, t) in (TRAIN..TRAIN + 8).enumerate() {
-        println!(
-            "  {t:>5}  {:>7.4}  {:>9.4}",
-            series.target[t], test_pred[i]
-        );
+        println!("  {t:>5}  {:>7.4}  {:>9.4}", series.target[t], test_pred[i]);
     }
     Ok(())
 }

@@ -25,8 +25,10 @@
 //! # }
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for the architecture overview and build/test/bench
+//! commands, and `DESIGN.md` for the system inventory and experiment
+//! index (the paper-vs-measured record will live in `EXPERIMENTS.md`
+//! once the full-scale runs land — see `DESIGN.md` §7).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -60,7 +60,10 @@ fn truncated_backprop_touches_constant_state_count() {
 #[test]
 fn gradient_check_at_paper_scale() {
     let mut model = DfrClassifier::paper_default(30, 3, 4, 0).expect("model");
-    model.reservoir_mut().set_params(0.12, 0.21).expect("params");
+    model
+        .reservoir_mut()
+        .set_params(0.12, 0.21)
+        .expect("params");
     for j in 0..model.feature_dim() {
         model.w_out_mut()[(0, j)] = 0.004 * ((j % 13) as f64 - 6.0);
         model.w_out_mut()[(3, j)] = -0.003 * ((j % 5) as f64 - 2.0);
