@@ -5,10 +5,17 @@
 //!
 //! ```text
 //! cargo run --release -p dfr-bench --bin convergence \
-//!     [-- --datasets JPVOW,ECG --scale 1.0]
+//!     [-- --datasets JPVOW,ECG --scale 1.0 --threads 4]
 //! ```
+//!
+//! The dataset sweep fans out over the `dfr-pool` execution layer; output
+//! is collected per dataset and printed in dataset order, so the report is
+//! identical at every thread count.
 
-use dfr_bench::{prepared_dataset, write_results, Args};
+use dfr_bench::{
+    apply_threads, json_array, json_f64, json_object, json_str, prepared_dataset, write_results,
+    Args,
+};
 use dfr_core::trainer::{train, TrainOptions};
 use std::fmt::Write as _;
 
@@ -17,20 +24,23 @@ fn main() {
     let scale = args.get_f64("scale", 1.0);
     let seed = args.get_usize("seed", 0) as u64;
     let datasets = args.datasets();
+    apply_threads(&args);
 
-    let mut csv = String::from("dataset,epoch,mean_loss,a,b,lr_reservoir,lr_output\n");
-    for which in datasets {
+    let results = dfr_pool::par_map_collect(&datasets, |_, &which| {
         let ds = prepared_dataset(which, seed, scale);
         let report = train(&ds, &TrainOptions::calibrated()).expect("training failed");
-        println!(
-            "{which}: final acc {:.3} (train {:.3}), beta {:.0e}",
+        let mut text = format!(
+            "{which}: final acc {:.3} (train {:.3}), beta {:.0e}\n",
             report.test_accuracy, report.train_accuracy, report.beta
         );
+        let mut csv = String::new();
+        let mut json_rows = Vec::with_capacity(report.epochs.len());
         let losses: Vec<f64> = report.epochs.iter().map(|e| e.mean_loss).collect();
         let max = losses.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
         for e in &report.epochs {
             let bars = ((e.mean_loss / max) * 48.0).round() as usize;
-            println!(
+            let _ = writeln!(
+                text,
                 "  epoch {:>2}  loss {:>8.4}  A {:>7.4}  B {:>7.4}  |{}",
                 e.epoch,
                 e.mean_loss,
@@ -49,8 +59,25 @@ fn main() {
                 e.lr_reservoir,
                 e.lr_output
             );
+            json_rows.push(json_object(&[
+                ("dataset", json_str(which.code())),
+                ("epoch", e.epoch.to_string()),
+                ("mean_loss", json_f64(e.mean_loss)),
+                ("a", json_f64(e.a)),
+                ("b", json_f64(e.b)),
+            ]));
         }
+        (text, csv, json_rows)
+    });
+
+    let mut csv = String::from("dataset,epoch,mean_loss,a,b,lr_reservoir,lr_output\n");
+    let mut json_rows = Vec::new();
+    for (text, dataset_csv, dataset_json) in results {
+        print!("{text}");
+        csv.push_str(&dataset_csv);
+        json_rows.extend(dataset_json);
     }
     let path = write_results("convergence.csv", &csv);
-    println!("\nwrote {}", path.display());
+    let json_path = write_results("convergence.json", &json_array(&json_rows));
+    println!("\nwrote {} and {}", path.display(), json_path.display());
 }

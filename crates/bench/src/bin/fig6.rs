@@ -3,18 +3,28 @@
 //! refinement can commit to the wrong basin.
 //!
 //! ```text
-//! cargo run --release -p dfr-bench --bin fig6 [-- --divisions 8 --scale 0.5]
+//! cargo run --release -p dfr-bench --bin fig6 [-- --divisions 8 --scale 0.5 \
+//!     --threads 4]
 //! ```
 //!
 //! Level 1 is the coarse landscape over the full search box; level 2 is
 //! the landscape inside the cell the coarse level would refine into. The
 //! run also reports the global best of a fine uniform grid, so the output
 //! shows directly whether recursive refinement would have missed it.
+//!
+//! Every landscape evaluates its grid cells concurrently over the
+//! `dfr-pool` execution layer (`--threads` / `DFR_THREADS` set the width)
+//! and is bit-identical at every thread count; `parallel_bench` records
+//! the resulting wall-clock speedup in `results/BENCH_parallel.json`.
 
-use dfr_bench::{ascii_heatmap, prepared_dataset, write_results, Args};
+use dfr_bench::{
+    apply_threads, ascii_heatmap, json_array, json_f64, json_object, prepared_dataset,
+    write_results, Args,
+};
 use dfr_core::grid::{grid_points, landscape, recursive_search, GridOptions};
 use dfr_data::PaperDataset;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
@@ -25,14 +35,17 @@ fn main() {
         .get("dataset")
         .map(|c| PaperDataset::from_code(c).expect("unknown dataset"))
         .unwrap_or(PaperDataset::Char);
+    let threads = apply_threads(&args);
 
     let ds = prepared_dataset(which, seed, scale);
     let options = GridOptions::default();
 
     // Level 1: coarse landscape over the full box.
+    let level1_start = Instant::now();
     let level1 = landscape(&ds, &options, divisions).expect("landscape failed");
+    let level1_seconds = level1_start.elapsed().as_secs_f64();
     println!(
-        "Fig. 6 — grid-search accuracy landscape on {which} (rows: A high→low? no: A index 0..{divisions}, cols: B)",
+        "Fig. 6 — grid-search accuracy landscape on {which} ({threads} threads; rows: A index 0..{divisions}, cols: B)",
     );
     println!(
         "level 1 ({divisions}x{divisions}, full box A∈[1e-3.75,1e-0.25], B∈[1e-2.75,1e-0.25]):"
@@ -91,11 +104,18 @@ fn main() {
 
     // CSV: level-1 and level-2 landscapes with coordinates.
     let mut csv = String::from("level,a,b,accuracy\n");
+    let mut json_rows = Vec::new();
     let a1 = grid_points(options.a_log10_range, divisions);
     let b1 = grid_points(options.b_log10_range, divisions);
     for (i, &a) in a1.iter().enumerate() {
         for (j, &b) in b1.iter().enumerate() {
             let _ = writeln!(csv, "1,{a},{b},{}", level1[(i, j)]);
+            json_rows.push(json_object(&[
+                ("level", "1".to_string()),
+                ("a", json_f64(a)),
+                ("b", json_f64(b)),
+                ("accuracy", json_f64(level1[(i, j)])),
+            ]));
         }
     }
     let a2 = grid_points(zoom.a_log10_range, divisions);
@@ -103,8 +123,16 @@ fn main() {
     for (i, &a) in a2.iter().enumerate() {
         for (j, &b) in b2.iter().enumerate() {
             let _ = writeln!(csv, "2,{a},{b},{}", level2[(i, j)]);
+            json_rows.push(json_object(&[
+                ("level", "2".to_string()),
+                ("a", json_f64(a)),
+                ("b", json_f64(b)),
+                ("accuracy", json_f64(level2[(i, j)])),
+            ]));
         }
     }
+    println!("\nlevel-1 landscape wall-clock: {level1_seconds:.2}s at {threads} threads");
     let path = write_results("fig6.csv", &csv);
-    println!("\nwrote {}", path.display());
+    let json_path = write_results("fig6.json", &json_array(&json_rows));
+    println!("wrote {} and {}", path.display(), json_path.display());
 }

@@ -4,8 +4,15 @@
 //!
 //! ```text
 //! cargo run --release -p dfr-bench --bin table1 [-- --datasets ECG,LIB \
-//!     --scale 0.5 --max-divisions 20 --seed 0]
+//!     --scale 0.5 --max-divisions 20 --seed 0 --threads 4]
 //! ```
+//!
+//! The dataset sweep fans out over the `dfr-pool` execution layer
+//! (`--threads` / `DFR_THREADS` set the width); inside a sweep worker the
+//! per-dataset pipeline runs serially, so per-dataset wall-clock is
+//! measured on one core. With more datasets than cores the workers share
+//! the machine, which inflates *absolute* times evenly — the gs/bp ratio,
+//! the quantity under reproduction, is unaffected.
 //!
 //! Absolute times differ from the paper (different hardware, Rust vs
 //! numpy, scaled-down synthetic datasets); the claim under reproduction is
@@ -13,10 +20,12 @@
 //! needs quadratically more evaluations as the required divisions grow, so
 //! the ratio explodes exactly on the datasets where divisions are large.
 
-use dfr_bench::{prepared_dataset, row, write_results, Args};
+use dfr_bench::{
+    apply_threads, json_array, json_f64, json_object, json_str, prepared_dataset, row,
+    write_results, Args,
+};
 use dfr_core::grid::{grid_search, GridOptions};
 use dfr_core::trainer::{train, TrainOptions};
-use std::fmt::Write as _;
 
 /// Grid divisions the paper's Table 1 reports per dataset ("gs divs").
 /// Used for the projected-ratio column: measured per-evaluation cost ×
@@ -33,12 +42,20 @@ fn paper_divisions(code: &str) -> usize {
     }
 }
 
+/// Everything one dataset contributes to the table, CSV and JSON.
+struct DatasetResult {
+    cells: Vec<String>,
+    csv: String,
+    json: String,
+}
+
 fn main() {
     let args = Args::from_env();
     let scale = args.get_f64("scale", 1.0);
     let seed = args.get_usize("seed", 0) as u64;
     let max_divisions = args.get_usize("max-divisions", 24);
     let datasets = args.datasets();
+    let threads = apply_threads(&args);
 
     let widths = [7, 8, 11, 8, 11, 12, 10, 11, 13];
     let header = row(
@@ -55,13 +72,10 @@ fn main() {
         ],
         &widths,
     );
-    println!("Table 1 — backpropagation vs grid search (synthetic stand-ins)");
+    println!("Table 1 — backpropagation vs grid search (synthetic stand-ins, {threads} threads)");
     println!("{header}");
-    let mut csv = String::from(
-        "dataset,bp_acc,bp_time_s,gs_divs,gs_acc,gs_time_s,ratio,paper_divs,projected_ratio\n",
-    );
 
-    for which in datasets {
+    let results = dfr_pool::par_map_collect(&datasets, |_, &which| {
         let ds = prepared_dataset(which, seed, scale);
         let bp = train(&ds, &TrainOptions::calibrated()).expect("bp training failed");
         let bp_time = bp.total_seconds();
@@ -85,37 +99,56 @@ fn main() {
         let pd = paper_divisions(which.code());
         let projected_evals: usize = (1..=pd).map(|g| g * g).sum();
         let projected_ratio = per_eval * projected_evals as f64 / bp_time.max(1e-9);
-        println!(
-            "{}",
-            row(
-                &[
-                    which.code().into(),
-                    format!("{:.3}", bp.test_accuracy),
-                    format!("{:.2}", bp_time),
-                    divs.clone(),
-                    format!("{:.3}", gs.best.test_accuracy),
-                    format!("{:.2}", gs.total_seconds),
-                    format!("{:.1}", ratio),
-                    pd.to_string(),
-                    format!("{:.1}", projected_ratio),
-                ],
-                &widths,
-            )
-        );
-        let _ = writeln!(
-            csv,
-            "{},{:.4},{:.4},{},{:.4},{:.4},{:.2},{},{:.2}",
-            which.code(),
-            bp.test_accuracy,
-            bp_time,
-            divs,
-            gs.best.test_accuracy,
-            gs.total_seconds,
-            ratio,
-            pd,
-            projected_ratio
-        );
+        DatasetResult {
+            cells: vec![
+                which.code().into(),
+                format!("{:.3}", bp.test_accuracy),
+                format!("{:.2}", bp_time),
+                divs.clone(),
+                format!("{:.3}", gs.best.test_accuracy),
+                format!("{:.2}", gs.total_seconds),
+                format!("{:.1}", ratio),
+                pd.to_string(),
+                format!("{:.1}", projected_ratio),
+            ],
+            csv: format!(
+                "{},{:.4},{:.4},{},{:.4},{:.4},{:.2},{},{:.2}",
+                which.code(),
+                bp.test_accuracy,
+                bp_time,
+                divs,
+                gs.best.test_accuracy,
+                gs.total_seconds,
+                ratio,
+                pd,
+                projected_ratio
+            ),
+            json: json_object(&[
+                ("dataset", json_str(which.code())),
+                ("bp_acc", json_f64(bp.test_accuracy)),
+                ("bp_time_s", json_f64(bp_time)),
+                ("gs_divs", json_str(&divs)),
+                ("gs_acc", json_f64(gs.best.test_accuracy)),
+                ("gs_time_s", json_f64(gs.total_seconds)),
+                ("ratio", json_f64(ratio)),
+                ("paper_divs", pd.to_string()),
+                ("projected_ratio", json_f64(projected_ratio)),
+                ("threads", threads.to_string()),
+            ]),
+        }
+    });
+
+    let mut csv = String::from(
+        "dataset,bp_acc,bp_time_s,gs_divs,gs_acc,gs_time_s,ratio,paper_divs,projected_ratio\n",
+    );
+    let mut json_rows = Vec::with_capacity(results.len());
+    for r in results {
+        println!("{}", row(&r.cells, &widths));
+        csv.push_str(&r.csv);
+        csv.push('\n');
+        json_rows.push(r.json);
     }
     let path = write_results("table1.csv", &csv);
-    println!("\nwrote {}", path.display());
+    let json_path = write_results("table1.json", &json_array(&json_rows));
+    println!("\nwrote {} and {}", path.display(), json_path.display());
 }

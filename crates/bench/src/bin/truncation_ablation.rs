@@ -5,14 +5,19 @@
 //!
 //! ```text
 //! cargo run --release -p dfr-bench --bin truncation_ablation \
-//!     [-- --datasets JPVOW,ECG,LIB --scale 1.0]
+//!     [-- --datasets JPVOW,ECG,LIB --scale 1.0 --threads 4]
 //! ```
 //!
 //! Reproduces the §3.4 claims: accuracy is essentially unchanged by
 //! truncation while backprop compute drops by ~`1/T` and state storage to
-//! `2·N_x`.
+//! `2·N_x`. The dataset sweep fans out over the `dfr-pool` execution
+//! layer; the window runs inside a dataset stay serial so the "vs full"
+//! speedup column compares like against like.
 
-use dfr_bench::{prepared_dataset, row, write_results, Args};
+use dfr_bench::{
+    apply_threads, json_array, json_f64, json_object, json_str, prepared_dataset, row,
+    write_results, Args,
+};
 use dfr_core::backprop::BackpropMode;
 use dfr_core::memory::MemoryModel;
 use dfr_core::trainer::{train, TrainOptions};
@@ -23,6 +28,7 @@ fn main() {
     let scale = args.get_f64("scale", 1.0);
     let seed = args.get_usize("seed", 0) as u64;
     let datasets = args.datasets();
+    apply_threads(&args);
 
     let widths = [7, 8, 9, 10, 13, 11];
     println!("Truncated-backpropagation ablation (paper §3.4)");
@@ -40,8 +46,8 @@ fn main() {
             &widths,
         )
     );
-    let mut csv = String::from("dataset,window,accuracy,sgd_seconds,stored_values\n");
-    for which in datasets {
+
+    let results = dfr_pool::par_map_collect(&datasets, |_, &which| {
         let ds = prepared_dataset(which, seed, scale);
         let t_len = ds.max_length();
         let mem = MemoryModel::new(t_len, 30, ds.num_classes());
@@ -53,6 +59,9 @@ fn main() {
                 runs.push((BackpropMode::Truncated { window: w }, w.to_string(), w));
             }
         }
+        let mut text = String::new();
+        let mut csv = String::new();
+        let mut json_rows = Vec::with_capacity(runs.len());
         for (mode, label, window) in runs {
             let options = TrainOptions {
                 mode,
@@ -63,7 +72,8 @@ fn main() {
                 full_time = Some(report.sgd_seconds);
             }
             let speedup = full_time.expect("set above") / report.sgd_seconds.max(1e-9);
-            println!(
+            let _ = writeln!(
+                text,
                 "{}",
                 row(
                     &[
@@ -86,8 +96,25 @@ fn main() {
                 report.sgd_seconds,
                 mem.windowed(window)
             );
+            json_rows.push(json_object(&[
+                ("dataset", json_str(which.code())),
+                ("window", json_str(&label)),
+                ("accuracy", json_f64(report.test_accuracy)),
+                ("sgd_seconds", json_f64(report.sgd_seconds)),
+                ("stored_values", mem.windowed(window).to_string()),
+            ]));
         }
+        (text, csv, json_rows)
+    });
+
+    let mut csv = String::from("dataset,window,accuracy,sgd_seconds,stored_values\n");
+    let mut json_rows = Vec::new();
+    for (text, dataset_csv, dataset_json) in results {
+        print!("{text}");
+        csv.push_str(&dataset_csv);
+        json_rows.extend(dataset_json);
     }
     let path = write_results("truncation_ablation.csv", &csv);
-    println!("\nwrote {}", path.display());
+    let json_path = write_results("truncation_ablation.json", &json_array(&json_rows));
+    println!("\nwrote {} and {}", path.display(), json_path.display());
 }

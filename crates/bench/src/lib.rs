@@ -100,6 +100,58 @@ impl Args {
     }
 }
 
+/// Installs the `--threads` flag (when present) as the process-wide pool
+/// width and returns the width parallel regions will actually use.
+///
+/// Without the flag the pool keeps its environment-driven sizing
+/// (`DFR_THREADS`, then available parallelism), so
+/// `DFR_THREADS=4 cargo run …` and `cargo run … -- --threads 4` are
+/// equivalent.
+pub fn apply_threads(args: &Args) -> usize {
+    if let Some(t) = args.get("threads").and_then(|v| v.parse::<usize>().ok()) {
+        dfr_pool::set_threads(Some(t.max(1)));
+    }
+    dfr_pool::max_threads()
+}
+
+/// Renders one JSON object from keys and pre-rendered JSON value fragments
+/// (use [`json_str`] / [`json_f64`] to render the values).
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// Renders a JSON array from pre-rendered object/value lines.
+pub fn json_array(items: &[String]) -> String {
+    let mut out = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(item);
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders an escaped JSON string value.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Renders a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -179,5 +231,35 @@ mod tests {
     fn row_formatting() {
         let r = row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let obj = json_object(&[
+            ("name", json_str("a\"b")),
+            ("x", json_f64(1.5)),
+            ("bad", json_f64(f64::NAN)),
+        ]);
+        assert_eq!(obj, "{\"name\": \"a\\\"b\", \"x\": 1.5, \"bad\": null}");
+        let arr = json_array(&[obj.clone(), obj]);
+        assert!(arr.starts_with("[\n  {"));
+        assert!(arr.ends_with("}\n]\n"));
+        assert_eq!(arr.matches("\"x\": 1.5").count(), 2);
+    }
+
+    #[test]
+    fn apply_threads_reads_flag() {
+        let args = Args::parse(["--threads", "3"].iter().map(|s| s.to_string()));
+        // apply_threads flips the process-wide pool override, which is
+        // briefly visible to concurrently running tests; that is safe
+        // because results are thread-count-independent by contract and no
+        // test asserts the *default* width. The scratch thread keeps this
+        // thread's local-override state untouched.
+        std::thread::spawn(move || {
+            assert_eq!(apply_threads(&args), 3);
+            dfr_pool::set_threads(None);
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -184,9 +184,33 @@ pub fn evaluate_point(
     })
 }
 
+/// Evaluates the row-major cross product `a_points × b_points`, fanning the
+/// cells out over the [`dfr_pool`] execution layer.
+///
+/// Each cell is fully independent (own model, own reservoir run, own
+/// readout fit), and results come back in exactly the order the serial
+/// double loop would produce them, so downstream best-point reductions are
+/// deterministic at every thread count.
+fn evaluate_cells(
+    ds: &Dataset,
+    options: &GridOptions,
+    a_points: &[f64],
+    b_points: &[f64],
+) -> Result<Vec<GridPoint>, CoreError> {
+    let cells: Vec<(f64, f64)> = a_points
+        .iter()
+        .flat_map(|&a| b_points.iter().map(move |&b| (a, b)))
+        .collect();
+    dfr_pool::par_try_map_collect(&cells, |_, &(a, b)| evaluate_point(ds, options, a, b))
+}
+
 /// Runs the paper's grid-search protocol: divisions `g = 1, 2, …` until the
 /// best accuracy reaches `target_accuracy` (the backpropagation accuracy)
 /// or `max_divisions` is exhausted.
+///
+/// Each level's `g × g` points are evaluated concurrently; the best-point
+/// reduction runs serially over the ordered results (ties keep the
+/// earliest point in row-major order, exactly as the serial loop did).
 ///
 /// # Errors
 ///
@@ -203,18 +227,18 @@ pub fn grid_search(
     let mut reached = false;
     for divisions in 1..=options.max_divisions {
         let level_start = Instant::now();
+        let a_points = grid_points(options.a_log10_range, divisions);
+        let b_points = grid_points(options.b_log10_range, divisions);
+        let points = evaluate_cells(ds, options, &a_points, &b_points)?;
+        evaluations += points.len();
         let mut level_best = f64::NEG_INFINITY;
-        for &a in &grid_points(options.a_log10_range, divisions) {
-            for &b in &grid_points(options.b_log10_range, divisions) {
-                let point = evaluate_point(ds, options, a, b)?;
-                evaluations += 1;
-                level_best = level_best.max(point.test_accuracy);
-                if best
-                    .as_ref()
-                    .map_or(true, |p| point.test_accuracy > p.test_accuracy)
-                {
-                    best = Some(point);
-                }
+        for point in points {
+            level_best = level_best.max(point.test_accuracy);
+            if best
+                .as_ref()
+                .map_or(true, |p| point.test_accuracy > p.test_accuracy)
+            {
+                best = Some(point);
             }
         }
         levels.push(DivisionStats {
@@ -240,6 +264,9 @@ pub fn grid_search(
 /// `(i, j)` is the test accuracy at the `i`-th `A` and `j`-th `B` grid
 /// coordinate.
 ///
+/// Cells are evaluated concurrently and written back in row-major order,
+/// so the map is bit-identical at every thread count.
+///
 /// # Errors
 ///
 /// Propagates unrecoverable errors from [`evaluate_point`].
@@ -250,11 +277,10 @@ pub fn landscape(
 ) -> Result<Matrix, CoreError> {
     let a_points = grid_points(options.a_log10_range, divisions);
     let b_points = grid_points(options.b_log10_range, divisions);
+    let points = evaluate_cells(ds, options, &a_points, &b_points)?;
     let mut out = Matrix::zeros(a_points.len(), b_points.len());
-    for (i, &a) in a_points.iter().enumerate() {
-        for (j, &b) in b_points.iter().enumerate() {
-            out[(i, j)] = evaluate_point(ds, options, a, b)?.test_accuracy;
-        }
+    for (cell, point) in out.as_mut_slice().iter_mut().zip(&points) {
+        *cell = point.test_accuracy;
     }
     Ok(out)
 }
@@ -310,17 +336,15 @@ pub fn recursive_search(
     for _ in 0..levels {
         let a_points = grid_points(a_range, coarse);
         let b_points = grid_points(b_range, coarse);
+        let points = evaluate_cells(ds, options, &a_points, &b_points)?;
+        evaluations += points.len();
         let mut best: Option<(usize, usize, GridPoint)> = None;
-        for (i, &a) in a_points.iter().enumerate() {
-            for (j, &b) in b_points.iter().enumerate() {
-                let point = evaluate_point(ds, options, a, b)?;
-                evaluations += 1;
-                if best
-                    .as_ref()
-                    .map_or(true, |(_, _, p)| point.test_accuracy > p.test_accuracy)
-                {
-                    best = Some((i, j, point));
-                }
+        for (idx, point) in points.into_iter().enumerate() {
+            if best
+                .as_ref()
+                .map_or(true, |(_, _, p)| point.test_accuracy > p.test_accuracy)
+            {
+                best = Some((idx / b_points.len(), idx % b_points.len(), point));
             }
         }
         let (bi, bj, point) = best.expect("grid has at least 4 points");

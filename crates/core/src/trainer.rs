@@ -323,30 +323,36 @@ pub fn features_for<'a, I>(model: &DfrClassifier, series: I) -> Result<Matrix, C
 where
     I: IntoIterator<Item = &'a Matrix>,
 {
-    let mut features = Matrix::zeros(0, 0);
-    for s in series {
+    // Samples are independent: run every reservoir pass concurrently over
+    // the pool, then assemble rows in input order (bit-identical to the
+    // serial loop at every thread count).
+    let series: Vec<&Matrix> = series.into_iter().collect();
+    let dim = model.feature_dim();
+    let rows = dfr_pool::par_try_map_collect(&series, |_, s| -> Result<Vec<f64>, CoreError> {
         let run = model.reservoir().run(s)?;
-        let mut row = vec![0.0; model.feature_dim()];
+        let mut row = vec![0.0; dim];
         Dprr.features_into(run.states(), &mut row);
         let scale = 1.0 / (run.len().max(1) as f64);
         for f in &mut row {
             *f *= scale;
         }
-        features.push_row(&row)?;
+        Ok(row)
+    })?;
+    let mut features = Matrix::zeros(0, 0);
+    for row in &rows {
+        features.push_row(row)?;
     }
     Ok(features)
 }
 
-/// Test-split accuracy of a trained model.
+/// Test-split accuracy of a trained model; per-sample predictions fan out
+/// over the pool.
 ///
 /// # Errors
 ///
 /// Propagates reservoir failures.
 pub fn evaluate(model: &DfrClassifier, ds: &Dataset) -> Result<f64, CoreError> {
-    let mut predictions = Vec::with_capacity(ds.test().len());
-    for s in ds.test() {
-        predictions.push(model.predict(&s.series)?);
-    }
+    let predictions = dfr_pool::par_try_map_collect(ds.test(), |_, s| model.predict(&s.series))?;
     let labels: Vec<usize> = ds.test().iter().map(|s| s.label).collect();
     Ok(metrics::accuracy(&predictions, &labels))
 }

@@ -165,3 +165,38 @@ proptest! {
         prop_assert!(s.lr(0) == initial);
     }
 }
+
+// Whole-pipeline determinism properties are expensive (each case runs a
+// full grid of reservoir passes and readout fits), so they get their own
+// small case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The execution-layer determinism contract (DESIGN.md §8), end to
+    /// end: the `grid::landscape` accuracy map — reservoir runs, DPRR
+    /// features, β-selected ridge readouts and all — is bit-identical to
+    /// serial at thread counts 1, 2 and 8.
+    #[test]
+    fn landscape_bit_identical_across_thread_counts(
+        seed in 0u64..1000,
+        mask_seed in 0u64..1000,
+    ) {
+        let mut ds = dfr_data::DatasetSpec::new("landscape-par", 2, 20, 1, 12, 12, 0.35)
+            .build(seed);
+        dfr_data::normalize::standardize(&mut ds);
+        let options = dfr_core::grid::GridOptions {
+            nodes: 6,
+            mask_seed,
+            ..dfr_core::grid::GridOptions::default()
+        };
+        let serial = dfr_pool::with_threads(1, || {
+            dfr_core::grid::landscape(&ds, &options, 3).unwrap()
+        });
+        for threads in [2usize, 8] {
+            let parallel = dfr_pool::with_threads(threads, || {
+                dfr_core::grid::landscape(&ds, &options, 3).unwrap()
+            });
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+}

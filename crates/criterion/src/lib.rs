@@ -22,11 +22,19 @@
 //! iteration is printed. That is enough for the CI smoke (`cargo bench
 //! --no-run` and a quick local `cargo bench`), not for publication-grade
 //! statistics.
+//!
+//! Beyond the criterion surface, the harness can emit a machine-readable
+//! record: when the `CRITERION_JSON` environment variable names a file,
+//! [`criterion_main!`] finishes by writing every measured benchmark there
+//! as a JSON array (name, mean ns/iter, iteration count, and the
+//! `DFR_THREADS` setting in effect) via [`write_json_summary`] — the feed
+//! for the workspace's perf-trajectory tooling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Wall-clock budget spent measuring one benchmark after warm-up.
@@ -159,6 +167,17 @@ impl Bencher {
     }
 }
 
+/// One measured benchmark, kept for the JSON summary.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// Every benchmark measured so far in this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
     let mut bencher = Bencher::default();
     f(&mut bencher);
@@ -172,6 +191,48 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
         format_duration(per_iter),
         bencher.iterations
     );
+    RECORDS
+        .lock()
+        .expect("benchmark registry poisoned")
+        .push(Record {
+            name: label.to_string(),
+            mean_ns: per_iter * 1e9,
+            iterations: bencher.iterations,
+        });
+}
+
+/// Writes all benchmarks measured so far to the file named by the
+/// `CRITERION_JSON` environment variable, as a JSON array of
+/// `{name, mean_ns, iters, threads}` objects. A no-op when the variable is
+/// unset. Called automatically at the end of [`criterion_main!`].
+///
+/// # Panics
+///
+/// Panics on I/O errors — bench runs treat those as fatal.
+pub fn write_json_summary() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let threads = std::env::var("DFR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok());
+    let records = RECORDS.lock().expect("benchmark registry poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        let threads = threads.map_or("null".to_string(), |t| t.to_string());
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"threads\": {}}}{}\n",
+            name,
+            r.mean_ns,
+            r.iterations,
+            threads,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(&path, out).expect("write CRITERION_JSON summary");
+    println!("wrote {}", std::path::Path::new(&path).display());
 }
 
 fn format_duration(seconds: f64) -> String {
@@ -201,12 +262,14 @@ macro_rules! criterion_group {
 
 /// Generates `fn main` running the given groups, mirroring criterion's
 /// macro of the same name. Arguments cargo passes (e.g. `--bench`) are
-/// accepted and ignored.
+/// accepted and ignored. Finishes by emitting the machine-readable summary
+/// (see [`write_json_summary`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
@@ -226,6 +289,18 @@ mod tests {
         let mut b = Bencher::default();
         b.iter(|| 1 + 1);
         assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn run_one_feeds_the_json_registry() {
+        run_one("registry-test", |b| b.iter(|| 1 + 1));
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.name == "registry-test")
+            .expect("recorded");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.iterations > 0);
     }
 
     #[test]

@@ -133,8 +133,13 @@ impl Cholesky {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        // One scratch column reused across right-hand sides (`col_iter`
+        // avoids a per-column allocation).
+        let mut col = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = b.col(j);
+            for (c, v) in col.iter_mut().zip(b.col_iter(j)) {
+                *c = v;
+            }
             let x = self.solve_vec(&col)?;
             for i in 0..n {
                 out[(i, j)] = x[i];

@@ -189,12 +189,33 @@ impl Matrix {
 
     /// Copies column `j` into a new `Vec`.
     ///
+    /// Allocates on every call; hot loops should iterate [`Matrix::col_iter`]
+    /// instead (or reuse a scratch buffer).
+    ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates column `j` top to bottom without allocating (a strided walk
+    /// of the row-major storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dfr_linalg::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+    /// assert_eq!(m.col_iter(1).collect::<Vec<_>>(), vec![2.0, 4.0]);
+    /// ```
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data.iter().skip(j).step_by(self.cols).copied()
     }
 
     /// Returns the transpose as a new matrix.
@@ -210,6 +231,11 @@ impl Matrix {
 
     /// Matrix-matrix product `self * rhs`.
     ///
+    /// Large products run banded over the [`dfr_pool`] execution layer: each
+    /// worker owns a contiguous band of output rows, and every output row is
+    /// computed with the identical cache-blocked kernel regardless of the
+    /// banding, so results are bit-identical at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
@@ -222,25 +248,24 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams through `rhs` rows, cache friendly for
-        // row-major storage.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
+        if self.rows == 0 || rhs.cols == 0 {
+            return Ok(out);
         }
+        let chunk = band_chunk_len(self.rows, rhs.cols, self.rows * self.cols * rhs.cols);
+        let band_rows = chunk / rhs.cols;
+        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
+            let rows_here = out_band.len() / rhs.cols;
+            let lhs_band = &self.data[band * band_rows * self.cols..][..rows_here * self.cols];
+            matmul_band(out_band, lhs_band, self.cols, rhs);
+        });
         Ok(out)
     }
 
     /// Product of `selfᵀ` with `rhs` without materialising the transpose.
+    ///
+    /// Parallelised by bands of output rows (columns of `self`) with the
+    /// same bit-identical-across-thread-counts guarantee as
+    /// [`Matrix::matmul`].
     ///
     /// # Errors
     ///
@@ -254,23 +279,21 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let lrow = self.row(k);
-            let rrow = rhs.row(k);
-            for (i, &l) in lrow.iter().enumerate() {
-                if l == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += l * r;
-                }
-            }
+        if self.cols == 0 || rhs.cols == 0 {
+            return Ok(out);
         }
+        let chunk = band_chunk_len(self.cols, rhs.cols, self.rows * self.cols * rhs.cols);
+        let band_rows = chunk / rhs.cols;
+        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
+            t_matmul_band(out_band, band * band_rows, self, rhs);
+        });
         Ok(out)
     }
 
     /// Product of `self` with `rhsᵀ` without materialising the transpose.
+    ///
+    /// Parallelised by bands of output rows with the same
+    /// bit-identical-across-thread-counts guarantee as [`Matrix::matmul`].
     ///
     /// # Errors
     ///
@@ -284,13 +307,82 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lrow = self.row(i);
-            for j in 0..rhs.rows {
-                out[(i, j)] = dot(lrow, rhs.row(j));
-            }
+        if self.rows == 0 || rhs.rows == 0 {
+            return Ok(out);
         }
+        let chunk = band_chunk_len(self.rows, rhs.rows, self.rows * self.cols * rhs.rows);
+        let band_rows = chunk / rhs.rows;
+        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
+            let i0 = band * band_rows;
+            for (bi, orow) in out_band.chunks_mut(rhs.rows).enumerate() {
+                let lrow = self.row(i0 + bi);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot(lrow, rhs.row(j));
+                }
+            }
+        });
         Ok(out)
+    }
+
+    /// The Gram matrix `self · selfᵀ` (`n x n` for an `n x p` matrix) —
+    /// the kernel behind the *dual* ridge normal equations.
+    ///
+    /// Only the lower triangle is computed (banded over the pool, with band
+    /// heights sized for equal triangular *work* rather than equal row
+    /// counts); the upper is mirrored, which is exact because `dot(rᵢ, rⱼ)`
+    /// is symmetric in floating point. Entries are bitwise equal to
+    /// `self.matmul_t(self)` at every thread count.
+    pub fn gram(&self) -> Matrix {
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        if n == 0 {
+            return out;
+        }
+        let madds = n * n * self.cols / 2;
+        par_triangle_bands(out.data.as_mut_slice(), n, madds, |i0, band| {
+            for (bi, orow) in band.chunks_mut(n).enumerate() {
+                let i = i0 + bi;
+                let ri = self.row(i);
+                for (j, o) in orow[..=i].iter_mut().enumerate() {
+                    *o = dot(ri, self.row(j));
+                }
+            }
+        });
+        mirror_lower_to_upper(&mut out);
+        out
+    }
+
+    /// The Gram matrix `selfᵀ · self` (`p x p` for an `n x p` matrix) —
+    /// the kernel behind the *primal* ridge normal equations.
+    ///
+    /// Lower triangle only (work-balanced bands, like [`Matrix::gram`]),
+    /// accumulated over sample rows in ascending order, then mirrored;
+    /// entries are bitwise equal to `self.t_matmul(self)` at every thread
+    /// count.
+    pub fn gram_t(&self) -> Matrix {
+        let p = self.cols;
+        let mut out = Matrix::zeros(p, p);
+        if p == 0 {
+            return out;
+        }
+        let madds = p * p * self.rows / 2;
+        par_triangle_bands(out.data.as_mut_slice(), p, madds, |i0, band| {
+            for k in 0..self.rows {
+                let xrow = self.row(k);
+                for (bi, orow) in band.chunks_mut(p).enumerate() {
+                    let i = i0 + bi;
+                    let xi = xrow[i];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    for (o, &xj) in orow[..=i].iter_mut().zip(xrow) {
+                        *o += xi * xj;
+                    }
+                }
+            }
+        });
+        mirror_lower_to_upper(&mut out);
+        out
     }
 
     /// Matrix-vector product `self * v`.
@@ -526,6 +618,115 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Multiply-add count below which a product stays serial: a scoped spawn
+/// costs ~10µs, so bands only pay off once there is real arithmetic to
+/// split. Size-based only — never thread-count-based — so the banding
+/// decision itself is deterministic.
+const PAR_MIN_MADDS: usize = 1 << 18;
+
+/// Inner `k`-panel width of the blocked matmul kernel: 64 rows of a
+/// 1000-column `f64` rhs panel is ~512 KiB... sized so a panel of typical
+/// DPRR-width operands stays L2-resident while a band of output rows
+/// streams over it.
+const K_BLOCK: usize = 64;
+
+/// Chunk length (in elements of the output slice) for a row-banded parallel
+/// product: one contiguous band per pool thread, or a single band covering
+/// the whole output when the arithmetic is too small to amortise a spawn.
+fn band_chunk_len(out_rows: usize, out_cols: usize, madds: usize) -> usize {
+    let threads = if madds < PAR_MIN_MADDS {
+        1
+    } else {
+        dfr_pool::max_threads()
+    };
+    out_rows.div_ceil(threads.clamp(1, out_rows)) * out_cols
+}
+
+/// The cache-blocked matmul kernel for one band of output rows.
+///
+/// `lhs_band` holds the matching band of lhs rows (row-major, width
+/// `k_dim`). The `k` loop ascends across panels, so every output element is
+/// accumulated in exactly the same order as an unblocked, unbanded i-k-j
+/// loop — the determinism contract of `DESIGN.md` §8.
+fn matmul_band(out_band: &mut [f64], lhs_band: &[f64], k_dim: usize, rhs: &Matrix) {
+    let n = rhs.cols();
+    let mut kb = 0;
+    while kb < k_dim {
+        let ke = (kb + K_BLOCK).min(k_dim);
+        for (orow, lrow) in out_band.chunks_mut(n).zip(lhs_band.chunks(k_dim)) {
+            for (k, &a) in lrow[kb..ke].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, &r) in orow.iter_mut().zip(rhs.row(kb + k)) {
+                    *o += a * r;
+                }
+            }
+        }
+        kb = ke;
+    }
+}
+
+/// The transposed-matmul kernel for one band of output rows (columns `i0..`
+/// of `lhs`), accumulating over shared rows `k` in ascending order.
+fn t_matmul_band(out_band: &mut [f64], i0: usize, lhs: &Matrix, rhs: &Matrix) {
+    let n = rhs.cols();
+    for k in 0..lhs.rows() {
+        let lrow = lhs.row(k);
+        let rrow = rhs.row(k);
+        for (bi, orow) in out_band.chunks_mut(n).enumerate() {
+            let l = lrow[i0 + bi];
+            if l == 0.0 {
+                continue;
+            }
+            for (o, &r) in orow.iter_mut().zip(rrow) {
+                *o += l * r;
+            }
+        }
+    }
+}
+
+/// Fans a lower-triangle kernel out over row bands of an `n x n` output,
+/// with band heights chosen so every band owns an equal share of the
+/// *triangular* work (row `i` costs `i + 1` multiply-adds, so uniform row
+/// counts would leave the last band with ~2× the average load and cap the
+/// speedup). Boundary `k` sits at `n·√(k/threads)` — equal area under the
+/// triangle per band. Execution goes through [`dfr_pool::par_parts_mut`],
+/// which keeps the pool's worker marking and nested-serial policy. The
+/// kernel receives `(first_row, band_slice)`; per-row computation is
+/// unchanged by the banding, so results stay bit-identical at every
+/// thread count.
+fn par_triangle_bands<F>(data: &mut [f64], n: usize, madds: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let threads = if madds < PAR_MIN_MADDS {
+        1
+    } else {
+        dfr_pool::max_threads().clamp(1, n)
+    };
+    if threads <= 1 {
+        kernel(0, data);
+        return;
+    }
+    let mut bounds: Vec<usize> = (0..=threads)
+        .map(|k| ((n as f64) * (k as f64 / threads as f64).sqrt()).round() as usize)
+        .collect();
+    bounds[threads] = n; // rounding guard: the last band must end at n
+    let part_lens: Vec<usize> = bounds.windows(2).map(|w| (w[1] - w[0]) * n).collect();
+    dfr_pool::par_parts_mut(data, &part_lens, |b, band| kernel(bounds[b], band));
+}
+
+/// Copies the strict lower triangle of a square matrix into the upper.
+fn mirror_lower_to_upper(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        for j in i + 1..m.cols() {
+            let v = m[(j, i)];
+            m[(i, j)] = v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +865,56 @@ mod tests {
         let m = sample().map(|x| -x);
         assert_eq!(m[(0, 0)], -1.0);
         assert_eq!(m[(1, 2)], -6.0);
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = sample();
+        for j in 0..3 {
+            assert_eq!(m.col_iter(j).collect::<Vec<_>>(), m.col(j));
+        }
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(empty.col_iter(1).count(), 0);
+    }
+
+    #[test]
+    fn gram_matches_matmul_t() {
+        let m = sample();
+        assert_eq!(m.gram(), m.matmul_t(&m).unwrap());
+        assert_eq!(m.gram_t(), m.t_matmul(&m).unwrap());
+        assert_eq!(Matrix::zeros(0, 0).gram().shape(), (0, 0));
+        assert_eq!(Matrix::zeros(0, 3).gram_t().shape(), (3, 3));
+    }
+
+    #[test]
+    fn products_identical_across_thread_counts() {
+        // Big enough to clear the serial threshold so bands really form.
+        let n = 96;
+        let a =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f64 * 0.37).sin()).collect()).unwrap();
+        let b =
+            Matrix::from_vec(n, n, (0..n * n).map(|i| (i as f64 * 0.11).cos()).collect()).unwrap();
+        let serial = dfr_pool::with_threads(1, || {
+            (
+                a.matmul(&b).unwrap(),
+                a.t_matmul(&b).unwrap(),
+                a.matmul_t(&b).unwrap(),
+                a.gram(),
+                a.gram_t(),
+            )
+        });
+        for threads in [2, 3, 8] {
+            let parallel = dfr_pool::with_threads(threads, || {
+                (
+                    a.matmul(&b).unwrap(),
+                    a.t_matmul(&b).unwrap(),
+                    a.matmul_t(&b).unwrap(),
+                    a.gram(),
+                    a.gram_t(),
+                )
+            });
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -80,16 +80,16 @@ pub fn ridge_fit_with(
         RidgeMode::Auto => x.cols() <= x.rows(),
     };
     if use_primal {
-        // (XᵀX + βI) W = Xᵀ Y
-        let mut gram = x.t_matmul(x)?;
+        // (XᵀX + βI) W = Xᵀ Y — the parallel Gram kernel builds XᵀX.
+        let mut gram = x.gram_t();
         for i in 0..gram.rows() {
             gram[(i, i)] += beta;
         }
         let rhs = x.t_matmul(y)?;
         Cholesky::factor(&gram)?.solve(&rhs)
     } else {
-        // W = Xᵀ (XXᵀ + βI)⁻¹ Y
-        let mut gram = x.matmul_t(x)?;
+        // W = Xᵀ (XXᵀ + βI)⁻¹ Y — the parallel Gram kernel builds XXᵀ.
+        let mut gram = x.gram();
         for i in 0..gram.rows() {
             gram[(i, i)] += beta;
         }

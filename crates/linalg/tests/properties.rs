@@ -113,6 +113,31 @@ proptest! {
         prop_assert!(lse <= max + (logits.len() as f64).ln() + 1e-12);
     }
 
+    /// The execution-layer determinism contract (DESIGN.md §8): every
+    /// parallel product is bit-identical to its serial result at thread
+    /// counts 1, 2 and 8. Operands are sized past the serial threshold so
+    /// bands genuinely form.
+    #[test]
+    fn products_bit_identical_across_thread_counts(a in matrix(80, 64), b in matrix(64, 80)) {
+        let serial = dfr_pool::with_threads(1, || (
+            a.matmul(&b).unwrap(),
+            a.t_matmul(&a).unwrap(),
+            a.matmul_t(&a).unwrap(),
+            a.gram(),
+            a.gram_t(),
+        ));
+        for threads in [2usize, 8] {
+            let parallel = dfr_pool::with_threads(threads, || (
+                a.matmul(&b).unwrap(),
+                a.t_matmul(&a).unwrap(),
+                a.matmul_t(&a).unwrap(),
+                a.gram(),
+                a.gram_t(),
+            ));
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+
     #[test]
     fn cross_entropy_nonnegative(
         logits in proptest::collection::vec(-20.0_f64..20.0, 2..6),

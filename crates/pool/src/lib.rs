@@ -1,0 +1,555 @@
+//! Deterministic scoped parallel execution for the DFR workspace.
+//!
+//! Every hot path in the reproduction — dense products in `dfr-linalg`,
+//! per-sample DPRR features in `dfr-reservoir`, the `(A, B)` grid in
+//! `dfr-core`, the dataset sweeps in `dfr-bench` — is embarrassingly
+//! parallel. This crate is the one execution layer they all share: a
+//! work-stealing-free fan-out built on [`std::thread::scope`] with a small
+//! rayon-style API subset.
+//!
+//! # Determinism contract
+//!
+//! Parallel results are **bit-identical** to serial results at every thread
+//! count (see `DESIGN.md` §8). The crate enforces the structural half of
+//! that contract:
+//!
+//! * work is split into *contiguous, disjoint* index ranges, never stolen
+//!   or re-balanced at runtime;
+//! * [`par_map_collect`] writes each result into the slot of its input
+//!   index, so collection order equals input order regardless of which
+//!   thread finished first;
+//! * [`par_try_map_collect`] reports the error of the *lowest input index*,
+//!   not the first to fail in wall-clock order;
+//! * there is no concurrent accumulation: reductions happen in the caller,
+//!   over the ordered results.
+//!
+//! Callers supply the numerical half by keeping each item's computation
+//! independent of the split (no shared accumulators, same floating-point
+//! summation order per item).
+//!
+//! # Sizing
+//!
+//! The fan-out width is resolved per parallel region, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by tests
+//!    to pin a region to an exact width),
+//! 2. a process-wide override installed by [`set_threads`] (used by the
+//!    experiment binaries' `--threads` flag),
+//! 3. the `DFR_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! A region inside a pool worker always runs serially (no nested fan-out),
+//! so outer layers — e.g. a dataset sweep — claim the threads and inner
+//! layers degrade gracefully instead of oversubscribing.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = dfr_pool::par_map_collect(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let serial = dfr_pool::with_threads(1, || dfr_pool::par_map_collect(&[1u64, 2], |i, _| i));
+//! assert_eq!(serial, vec![0, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread-count override; 0 means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local override installed by [`with_threads`]; 0 means unset.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Nesting depth: > 0 on a pool worker thread, where parallel regions
+    /// degrade to serial execution.
+    static WORKER_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `DFR_THREADS` parsed once; 0 means unset or unparsable.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("DFR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The thread count parallel regions started from this thread will use.
+///
+/// Resolution order: [`with_threads`] override → [`set_threads`] override →
+/// `DFR_THREADS` → [`std::thread::available_parallelism`] → 1.
+pub fn max_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Installs (or with `None` clears) the process-wide thread-count override.
+///
+/// Intended for binaries translating a `--threads` flag; tests should prefer
+/// the scoped, race-free [`with_threads`].
+pub fn set_threads(threads: Option<usize>) {
+    GLOBAL_THREADS.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Runs `f` with parallel regions on this thread pinned to exactly
+/// `threads` workers, restoring the previous setting afterwards.
+///
+/// The override is thread-local, so concurrent tests pinning different
+/// widths do not interfere.
+///
+/// # Example
+///
+/// ```
+/// let wide = dfr_pool::with_threads(8, dfr_pool::max_threads);
+/// assert_eq!(wide, 8);
+/// ```
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    /// Restores the previous override even when `f` unwinds (property-test
+    /// harnesses catch panics and keep running on the same thread).
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_THREADS.with(|c| c.replace(threads.max(1))));
+    f()
+}
+
+/// Whether the current thread is a pool worker (parallel regions here run
+/// serially instead of nesting).
+pub fn in_worker() -> bool {
+    WORKER_DEPTH.with(Cell::get) > 0
+}
+
+/// Thread count a region with `items` independent pieces of work will
+/// actually fan out to: 1 when nested inside a worker, otherwise
+/// `max_threads()` capped by `items`.
+fn fan_out(items: usize) -> usize {
+    if WORKER_DEPTH.with(Cell::get) > 0 {
+        return 1;
+    }
+    max_threads().clamp(1, items.max(1))
+}
+
+/// Marks the current (freshly spawned) thread as a pool worker.
+fn enter_worker() {
+    WORKER_DEPTH.with(|c| c.set(c.get() + 1));
+}
+
+/// A scoped spawn handle; re-exported so callers can write
+/// `pool::scope(|s| { s.spawn(…); })` without importing `std::thread`.
+pub use std::thread::Scope;
+
+/// Runs `f` with a handle for spawning scoped threads, joining them all
+/// before returning (a thin, panic-propagating wrapper over
+/// [`std::thread::scope`]).
+///
+/// Prefer the structured entry points ([`par_map_collect`],
+/// [`par_chunks_mut`]) — they encode the determinism contract; `scope` is
+/// the escape hatch for irregular shapes.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(f)
+}
+
+/// Applies `f` to every item and collects the results **in input order**.
+///
+/// `f` receives `(index, &item)`. Items are split into contiguous blocks,
+/// one per worker; with one thread (or inside a worker, or for a single
+/// item) the loop runs inline with no spawn.
+///
+/// # Panics
+///
+/// Panics if any worker panics: [`std::thread::scope`] joins every worker
+/// and then re-raises, so no work is silently dropped — but the original
+/// payload is not preserved and no cross-worker ordering is guaranteed.
+/// Use [`par_try_map_collect`] where the failure itself must be
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// let doubled = dfr_pool::par_map_collect(&[1.0, 2.0, 3.0], |_, x| x * 2.0);
+/// assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+/// ```
+pub fn par_map_collect<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = fan_out(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let block = items.len().div_ceil(threads);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    scope(|s| {
+        for (b, (in_block, out_block)) in
+            items.chunks(block).zip(slots.chunks_mut(block)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                enter_worker();
+                let base = b * block;
+                for (k, (item, slot)) in in_block.iter().zip(out_block.iter_mut()).enumerate() {
+                    *slot = Some(f(base + k, item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+/// Fallible [`par_map_collect`]: returns the results in input order, or the
+/// error of the **lowest input index** that failed.
+///
+/// All items are evaluated even when one fails early (errors on these paths
+/// are rare and terminal); what the contract buys is that the *reported*
+/// error does not depend on thread scheduling.
+///
+/// # Errors
+///
+/// The error produced by `f` at the lowest failing index.
+///
+/// # Example
+///
+/// ```
+/// let r: Result<Vec<u32>, String> =
+///     dfr_pool::par_try_map_collect(&[1u32, 0, 0], |i, &x| {
+///         if x == 0 { Err(format!("zero at {i}")) } else { Ok(x) }
+///     });
+/// assert_eq!(r.unwrap_err(), "zero at 1");
+/// ```
+pub fn par_try_map_collect<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_collect(items, f).into_iter().collect()
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and applies `f(chunk_index, chunk)` to each, fanning the
+/// chunks out over contiguous per-worker blocks.
+///
+/// This is the mutable-output primitive: a matrix parallelised by row bands
+/// passes its backing slice with `chunk_len = band_rows * cols`, and each
+/// chunk is written by exactly one worker.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` and `data` is non-empty.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        chunk_len > 0,
+        "par_chunks_mut needs a positive chunk length"
+    );
+    let chunks = data.len().div_ceil(chunk_len);
+    let threads = fan_out(chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per_worker = chunks.div_ceil(threads);
+    scope(|s| {
+        for (b, block) in data.chunks_mut(per_worker * chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                enter_worker();
+                for (k, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                    f(b * per_worker + k, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into consecutive parts of caller-specified (possibly
+/// uneven) lengths and applies `f(part_index, part)` to each part on its
+/// own worker. Empty parts are skipped.
+///
+/// This is the load-balancing variant of [`par_chunks_mut`]: triangular
+/// kernels (e.g. a symmetric Gram matrix computing only its lower
+/// triangle) hand later rows more work, so equal-length chunks would leave
+/// the last worker with ~2× the average load. The caller sizes the parts;
+/// the pool keeps the execution policy (worker marking, nested-region
+/// serial fallback, one part per spawned worker).
+///
+/// # Panics
+///
+/// Panics if `part_lens` does not sum to exactly `data.len()`.
+pub fn par_parts_mut<T, F>(data: &mut [T], part_lens: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert_eq!(
+        part_lens.iter().sum::<usize>(),
+        data.len(),
+        "par_parts_mut: part lengths must cover the data exactly"
+    );
+    let parts = part_lens.iter().filter(|&&l| l > 0).count();
+    let threads = fan_out(parts);
+    if threads <= 1 {
+        let mut rest = data;
+        for (i, &len) in part_lens.iter().enumerate() {
+            let (part, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if !part.is_empty() {
+                f(i, part);
+            }
+        }
+        return;
+    }
+    scope(|s| {
+        let mut rest = data;
+        for (i, &len) in part_lens.iter().enumerate() {
+            let (part, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if part.is_empty() {
+                continue;
+            }
+            let f = &f;
+            s.spawn(move || {
+                enter_worker();
+                f(i, part);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = with_threads(threads, || par_map_collect(&items, |i, &x| i * 2 + x));
+            assert_eq!(out.len(), 1000);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 3 * i, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_collect_handles_awkward_splits() {
+        // Item counts around the thread count exercise short final blocks.
+        for n in [0usize, 1, 2, 3, 7, 8, 9] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = with_threads(8, || par_map_collect(&items, |i, _| i));
+            assert_eq!(out, items);
+        }
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4, 8] {
+            let r: Result<Vec<usize>, usize> = with_threads(threads, || {
+                par_try_map_collect(&items, |i, _| if i % 7 == 3 { Err(i) } else { Ok(i) })
+            });
+            assert_eq!(r.unwrap_err(), 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_roundtrip() {
+        let items = [1u32, 2, 3];
+        let r: Result<Vec<u32>, ()> = par_try_map_collect(&items, |_, &x| Ok(x + 1));
+        assert_eq!(r.unwrap(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_chunk_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u32; 103];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 10, |ci, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v += ci as u32 + 1;
+                    }
+                });
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, (i / 10) as u32 + 1, "threads={threads} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_and_zero_len() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_chunks_mut(&mut empty, 0, |_, _| unreachable!());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk length")]
+    fn chunks_mut_rejects_zero_chunk_on_data() {
+        let mut data = vec![1u32];
+        par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn parts_mut_uneven_lengths_cover_everything() {
+        for threads in [1, 2, 8] {
+            let mut data = vec![0u32; 20];
+            with_threads(threads, || {
+                par_parts_mut(&mut data, &[1, 0, 7, 12], |pi, part| {
+                    for v in part.iter_mut() {
+                        *v = pi as u32 + 1;
+                    }
+                });
+            });
+            let expected: Vec<u32> = std::iter::repeat(1)
+                .take(1)
+                .chain(std::iter::repeat(3).take(7))
+                .chain(std::iter::repeat(4).take(12))
+                .collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parts_mut_marks_workers() {
+        let mut data = vec![false; 6];
+        with_threads(3, || {
+            par_parts_mut(&mut data, &[2, 2, 2], |_, part| {
+                for v in part.iter_mut() {
+                    *v = in_worker();
+                }
+            });
+        });
+        assert!(data.iter().all(|&w| w));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the data exactly")]
+    fn parts_mut_rejects_wrong_total() {
+        let mut data = vec![0u32; 3];
+        par_parts_mut(&mut data, &[1, 1], |_, _| {});
+    }
+
+    #[test]
+    fn nested_regions_run_serial() {
+        let nested_width = with_threads(4, || {
+            let widths = par_map_collect(&[(); 4], |_, _| {
+                assert!(in_worker());
+                // A region opened inside a worker must not fan out again.
+                par_map_collect(&[(); 8], |_, _| in_worker()).len()
+            });
+            widths.into_iter().sum::<usize>()
+        });
+        assert_eq!(nested_width, 32);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        // Everything runs under an outer local override: the local layer
+        // wins over the global one, so the concurrent global flip in
+        // local_override_wins_over_global cannot perturb these asserts.
+        with_threads(9, || {
+            assert_eq!(max_threads(), 9);
+            with_threads(3, || {
+                assert_eq!(max_threads(), 3);
+                with_threads(5, || assert_eq!(max_threads(), 5));
+                assert_eq!(max_threads(), 3);
+            });
+            assert_eq!(max_threads(), 9);
+        });
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(max_threads(), 1));
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        // Outer local override for the same reason as
+        // with_threads_restores_previous_value.
+        with_threads(9, || {
+            let unwound = std::panic::catch_unwind(|| with_threads(6, || panic!("boom")));
+            assert!(unwound.is_err());
+            assert_eq!(max_threads(), 9);
+        });
+    }
+
+    #[test]
+    fn local_override_wins_over_global() {
+        // GLOBAL_THREADS is process-wide, so this flip is visible to tests
+        // running concurrently; every other test that asserts a width does
+        // so under a local override (which wins), and results are
+        // thread-count-independent by contract. The scratch thread keeps
+        // this thread's local-override state untouched.
+        std::thread::spawn(|| {
+            set_threads(Some(2));
+            assert!(max_threads() >= 1);
+            with_threads(7, || assert_eq!(max_threads(), 7));
+            set_threads(None);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        with_threads(8, || {
+            par_map_collect(&hits, |_, h| h.fetch_add(1, Ordering::Relaxed));
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

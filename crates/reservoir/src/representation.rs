@@ -160,6 +160,11 @@ impl Representation for MeanState {
 
 /// Builds the feature matrix for a batch of state histories (one row per
 /// sample) using any representation.
+///
+/// Samples are independent, so rows are computed in parallel over the
+/// [`dfr_pool`] execution layer — each worker owns a contiguous band of
+/// output rows and every row is produced by the same per-sample kernel,
+/// making the result bit-identical at every thread count.
 pub fn feature_matrix<R: Representation + ?Sized>(rep: &R, runs: &[Matrix]) -> Matrix {
     if runs.is_empty() {
         return Matrix::zeros(0, 0);
@@ -167,9 +172,12 @@ pub fn feature_matrix<R: Representation + ?Sized>(rep: &R, runs: &[Matrix]) -> M
     let nx = runs[0].cols();
     let dim = rep.dim(nx);
     let mut out = Matrix::zeros(runs.len(), dim);
-    for (i, states) in runs.iter().enumerate() {
-        rep.features_into(states, out.row_mut(i));
+    if dim == 0 {
+        return out;
     }
+    dfr_pool::par_chunks_mut(out.as_mut_slice(), dim, |i, row| {
+        rep.features_into(&runs[i], row);
+    });
     out
 }
 

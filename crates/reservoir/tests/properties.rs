@@ -4,7 +4,7 @@ use dfr_linalg::Matrix;
 use dfr_reservoir::mask::Mask;
 use dfr_reservoir::modular::ModularDfr;
 use dfr_reservoir::nonlinearity::Tanh;
-use dfr_reservoir::representation::{Dprr, LastState, MeanState, Representation};
+use dfr_reservoir::representation::{feature_matrix, Dprr, LastState, MeanState, Representation};
 use proptest::prelude::*;
 
 fn series(t: usize, c: usize) -> impl Strategy<Value = Matrix> {
@@ -108,5 +108,27 @@ proptest! {
     fn mask_determinism(seed in 0u64..1000) {
         prop_assert_eq!(Mask::binary(16, 1, seed), Mask::binary(16, 1, seed));
         prop_assert_eq!(Mask::uniform(16, 1, seed), Mask::uniform(16, 1, seed));
+    }
+
+    /// The execution-layer determinism contract (DESIGN.md §8): batch DPRR
+    /// feature extraction is bit-identical to serial at thread counts
+    /// 1, 2 and 8.
+    #[test]
+    fn feature_matrix_bit_identical_across_thread_counts(
+        u in series(12, 2),
+        seed in 0u64..100,
+    ) {
+        let dfr = ModularDfr::linear(Mask::binary(6, 2, seed), 0.25, 0.3).unwrap();
+        let runs: Vec<_> = (0..17)
+            .map(|i| {
+                let scaled = u.map(|x| x * (0.2 + 0.05 * i as f64));
+                dfr.run(&scaled).unwrap().states().clone()
+            })
+            .collect();
+        let serial = dfr_pool::with_threads(1, || feature_matrix(&Dprr, &runs));
+        for threads in [2usize, 8] {
+            let parallel = dfr_pool::with_threads(threads, || feature_matrix(&Dprr, &runs));
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
     }
 }

@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let (w, b) = ridge_fit_intercept(&x_train, &y_train, 1e-6)?;
 
-    let predict = |t: usize| -> f64 { dfr::linalg::dot(states.row(t), &w.col(0)) + b[0] };
+    // `w` is a single column, so its row-major storage *is* column 0.
+    let predict = |t: usize| -> f64 { dfr::linalg::dot(states.row(t), w.as_slice()) + b[0] };
     let train_pred: Vec<f64> = (WARMUP..TRAIN).map(predict).collect();
     let test_pred: Vec<f64> = (TRAIN..TRAIN + TEST).map(predict).collect();
 

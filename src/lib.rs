@@ -9,6 +9,8 @@
 //!   nonlinearities and reservoir representations.
 //! * [`core`] — backpropagation (full + truncated), the SGD trainer, the
 //!   grid-search baseline, the Table 2 memory model and metrics.
+//! * [`pool`] — the deterministic parallel execution layer every hot path
+//!   runs on (`DFR_THREADS` controls the fan-out width).
 //!
 //! # Quickstart
 //!
@@ -36,4 +38,5 @@
 pub use dfr_core as core;
 pub use dfr_data as data;
 pub use dfr_linalg as linalg;
+pub use dfr_pool as pool;
 pub use dfr_reservoir as reservoir;
