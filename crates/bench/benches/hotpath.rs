@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the training hot path: the allocating
+//! wrapper APIs vs the workspace-buffer (`_into`) forms they now wrap, and
+//! the per-β ridge refits vs the single-Gram [`RidgePlan`] sweep.
+//!
+//! Both sides of each pair compute bitwise-identical results (pinned by
+//! the `dfr-core` property suite); the delta is pure allocation, copy and
+//! Gram-recompute overhead — the quantity this PR removes from the
+//! per-sample SGD loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfr_core::backprop::{backprop, backprop_into, BackpropOptions};
+use dfr_core::optimizer::{ParamBounds, Sgd};
+use dfr_core::workspace::TrainWorkspace;
+use dfr_core::DfrClassifier;
+use dfr_linalg::ridge::{ridge_fit_intercept, RidgePlan};
+use dfr_linalg::Matrix;
+
+const BETAS: [f64; 4] = [1e-6, 1e-4, 1e-2, 1.0];
+
+fn setup(t: usize) -> (DfrClassifier, Matrix, Matrix, Vec<f64>) {
+    let mut model = DfrClassifier::paper_default(30, 3, 4, 0).expect("valid");
+    model.reservoir_mut().set_params(0.1, 0.2).expect("valid");
+    for j in 0..model.feature_dim() {
+        model.w_out_mut()[(0, j)] = 0.01 * ((j % 11) as f64 - 5.0);
+        model.w_out_mut()[(2, j)] = -0.02 * ((j % 7) as f64 - 3.0);
+    }
+    let data: Vec<f64> = (0..t * 3).map(|i| ((i as f64) * 0.29).sin()).collect();
+    let series = Matrix::from_vec(t, 3, data).expect("sized correctly");
+    let masked = model.reservoir().mask().apply(&series);
+    (model, series, masked, vec![0.0, 0.0, 1.0, 0.0])
+}
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_step");
+    let (model, series, masked, target) = setup(200);
+    let options = BackpropOptions::default();
+    let bounds = ParamBounds::default();
+
+    // Pre-PR shape: every stage allocates its outputs (plus the per-sample
+    // clone of the cached masked drive the old trainer paid).
+    group.bench_function("allocating", |b| {
+        let mut m = model.clone();
+        let mut sgd = Sgd::new();
+        b.iter(|| {
+            let run = m
+                .reservoir()
+                .run_masked(std::hint::black_box(&masked).clone())
+                .expect("stable");
+            let cache = m.forward_from_run(run).expect("forward");
+            let (loss, grads) = backprop(&m, &series, &cache, &target, &options).expect("grads");
+            sgd.step(&mut m, &grads, 0.0, 0.0, &bounds).expect("step");
+            loss
+        })
+    });
+
+    // This PR's shape: one workspace recycled across every step.
+    group.bench_function("workspace", |b| {
+        let mut m = model.clone();
+        let mut sgd = Sgd::new();
+        let mut ws = TrainWorkspace::new();
+        b.iter(|| {
+            m.forward_masked_into(std::hint::black_box(&masked), &mut ws.cache)
+                .expect("forward");
+            let TrainWorkspace { cache, bp } = &mut ws;
+            let loss = backprop_into(&m, &series, cache, &target, &options, bp).expect("grads");
+            sgd.step(&mut m, &bp.grads, 0.0, 0.0, &bounds)
+                .expect("step");
+            loss
+        })
+    });
+    group.finish();
+}
+
+fn bench_ridge_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ridge_sweep");
+    group.sample_size(10);
+    let n = 100;
+    let p = 930;
+    let x = Matrix::from_vec(
+        n,
+        p,
+        (0..n * p).map(|i| ((i as f64) * 0.13).sin()).collect(),
+    )
+    .expect("sized correctly");
+    let mut y = Matrix::zeros(n, 10);
+    for i in 0..n {
+        y[(i, i % 10)] = 1.0;
+    }
+
+    // Pre-PR shape: one full fit (Gram + factor + solve) per β candidate.
+    group.bench_function("per_beta", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for &beta in &BETAS {
+                last = Some(ridge_fit_intercept(&x, &y, beta).expect("fit"));
+            }
+            last
+        })
+    });
+
+    // This PR's shape: Gram and XᵀY once, per β only βI + refactor.
+    group.bench_function("plan", |b| {
+        let aug = dfr_linalg::ridge::augment_ones(&x);
+        b.iter(|| {
+            let mut plan = RidgePlan::new(&aug, &y).expect("plan");
+            let mut w = Matrix::zeros(0, 0);
+            for &beta in &BETAS {
+                plan.solve_into(beta, &mut w).expect("solve");
+            }
+            w
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgd_step, bench_ridge_sweep);
+criterion_main!(benches);

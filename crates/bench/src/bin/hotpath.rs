@@ -1,0 +1,439 @@
+//! Before/after wall-clock measurement of the training hot path.
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin hotpath [-- --datasets ARAB \
+//!     --epochs 25 --scale 1.0 --seed 0 --repeat 2 --threads 1]
+//! ```
+//!
+//! **Methodology** (also summarised in `EXPERIMENTS.md`): the "legacy"
+//! column preserves the pre-PR implementation verbatim inside this binary
+//! — the index-addressed reservoir recurrence, a freshly allocated state
+//! matrix and forward cache per sample, the allocating backward pass
+//! (fresh `bpv`/`ds`/`w_grad`/`dr` per call, per-sample `masked.clone()`),
+//! a gradient clone before the SGD step (the old optimizer cloned
+//! internally), and a readout sweep running one full ridge fit (Gram +
+//! factor + solve) per β candidate. The "workspace" column is today's
+//! [`train`], whose inner loop recycles one `TrainWorkspace` and whose β
+//! sweep computes the Gram once. Both paths must produce bitwise-identical
+//! trained models and selected β — asserted before anything is recorded.
+//!
+//! Per-path wall-clock is the minimum over `--repeat` runs. For the
+//! recorded single-core measurement run with `--threads 1`.
+
+use dfr_bench::{
+    apply_threads, json_array, json_f64, json_object, json_str, prepared_dataset, row,
+    write_results, Args,
+};
+use dfr_core::backprop::Gradients;
+use dfr_core::optimizer::Sgd;
+use dfr_core::readout::{mean_cross_entropy, FittedReadout};
+use dfr_core::trainer::{train, TrainOptions};
+use dfr_core::{CoreError, DfrClassifier};
+use dfr_data::Dataset;
+use dfr_linalg::activation::{cross_entropy, softmax, softmax_cross_entropy_grad};
+use dfr_linalg::ridge::ridge_fit_intercept;
+use dfr_linalg::Matrix;
+use dfr_reservoir::modular::DIVERGENCE_LIMIT;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Pre-PR reservoir recurrence: index-addressed element access, state
+/// matrix allocated per call. Returns `None` on divergence.
+fn legacy_drive(a: f64, b: f64, masked: &Matrix) -> Option<Matrix> {
+    let t_len = masked.rows();
+    let nx = masked.cols();
+    let mut states = Matrix::zeros(t_len, nx);
+    let mut prev_chain = 0.0;
+    for k in 0..t_len {
+        for n in 0..nx {
+            let delayed = if k == 0 { 0.0 } else { states[(k - 1, n)] };
+            let z = masked[(k, n)] + delayed;
+            // The paper's evaluation setting is linear f, so f(z) = z.
+            let s = a * z + b * prev_chain;
+            if !s.is_finite() || s.abs() > DIVERGENCE_LIMIT {
+                return None;
+            }
+            states[(k, n)] = s;
+            prev_chain = s;
+        }
+    }
+    Some(states)
+}
+
+/// Pre-PR DPRR kernel: one rank-1 accumulator sweep per timestep (the
+/// current kernel fuses four steps per sweep).
+fn legacy_dprr(states: &Matrix) -> Vec<f64> {
+    let nx = states.cols();
+    let t_len = states.rows();
+    let mut out = vec![0.0; nx * (nx + 1)];
+    let (products, sums) = out.split_at_mut(nx * nx);
+    for k in 0..t_len {
+        let x_k = states.row(k);
+        for (s, &xi) in sums.iter_mut().zip(x_k) {
+            *s += xi;
+        }
+        if k == 0 {
+            continue;
+        }
+        let x_prev = states.row(k - 1);
+        for (i, &xi) in x_k.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &mut products[i * nx..(i + 1) * nx];
+            for (r, &xj) in row.iter_mut().zip(x_prev) {
+                *r += xi * xj;
+            }
+        }
+    }
+    out
+}
+
+/// Pre-PR forward tail: allocating DPRR features, logits, probabilities.
+fn legacy_forward(
+    model: &DfrClassifier,
+    states: &Matrix,
+) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    let mut features = legacy_dprr(states);
+    let scale = 1.0 / (states.rows().max(1) as f64);
+    for f in &mut features {
+        *f *= scale;
+    }
+    let mut logits = model.w_out().matvec(&features)?;
+    for (l, b) in logits.iter_mut().zip(model.bias()) {
+        *l += b;
+    }
+    let probs = softmax(&logits);
+    Ok((features, probs))
+}
+
+/// Pre-PR truncated backward pass (window = 1), transcribed from the old
+/// `backprop`: every intermediate freshly allocated, index-addressed state
+/// reads. Returns `(loss, gradients)`.
+fn legacy_backprop(
+    model: &DfrClassifier,
+    masked: &Matrix,
+    states: &Matrix,
+    features: &[f64],
+    probs: &[f64],
+    target: &[f64],
+) -> Result<(f64, Gradients), CoreError> {
+    let loss = cross_entropy(probs, target);
+    let nx = model.nodes();
+    let t_len = states.rows();
+    let nr = model.feature_dim();
+    let g = softmax_cross_entropy_grad(probs, target);
+    let bias_grad = g.clone();
+    let mut w_grad = Matrix::zeros(model.num_classes(), nr);
+    for (c, &gc) in g.iter().enumerate() {
+        if gc == 0.0 {
+            continue;
+        }
+        let row = w_grad.row_mut(c);
+        for (w, &r) in row.iter_mut().zip(features) {
+            *w = gc * r;
+        }
+    }
+    let mut dr = model.w_out().t_matvec(&g)?;
+    let scale = 1.0 / (t_len.max(1) as f64);
+    for d in &mut dr {
+        *d *= scale;
+    }
+    if t_len == 0 {
+        return Ok((
+            loss,
+            Gradients {
+                a: 0.0,
+                b: 0.0,
+                w_out: w_grad,
+                bias: bias_grad,
+                mask: None,
+            },
+        ));
+    }
+    let dr_products = Matrix::from_vec(nx, nx, dr[..nx * nx].to_vec())?;
+    let dr_sums = &dr[nx * nx..];
+    let window = 1usize; // the paper's truncation
+    let k_start = t_len - window;
+    let a = model.reservoir().a();
+    let b = model.reservoir().b();
+    let mut bpv = Matrix::zeros(window, nx);
+    for k in k_start..t_len {
+        let row = k - k_start;
+        if k > 0 {
+            let term1 = dr_products.matvec(states.row(k - 1))?;
+            bpv.row_mut(row).copy_from_slice(&term1);
+        }
+        if k + 1 < t_len {
+            let term2 = dr_products.t_matvec(states.row(k + 1))?;
+            for (o, t2) in bpv.row_mut(row).iter_mut().zip(term2) {
+                *o += t2;
+            }
+        }
+        for (o, &s) in bpv.row_mut(row).iter_mut().zip(dr_sums) {
+            *o += s;
+        }
+    }
+    let mut ds = Matrix::zeros(window, nx);
+    let mut a_grad = 0.0;
+    let mut b_grad = 0.0;
+    for k in (k_start..t_len).rev() {
+        let row = k - k_start;
+        for n in (0..nx).rev() {
+            let mut d = bpv[(row, n)];
+            if n + 1 < nx {
+                d += b * ds[(row, n + 1)];
+            } else if k + 1 < t_len {
+                d += b * ds[(row + 1, 0)];
+            }
+            if k + 1 < t_len {
+                let delayed = states[(k, n)];
+                let z_next = masked[(k + 1, n)] + delayed;
+                // linear f: f'(z) = 1
+                let _ = z_next;
+                d += a * ds[(row + 1, n)];
+            }
+            ds[(row, n)] = d;
+            let delayed = if k == 0 { 0.0 } else { states[(k - 1, n)] };
+            let z = masked[(k, n)] + delayed;
+            a_grad += z * d; // linear f: f(z) = z
+            let chain_prev = if n > 0 {
+                states[(k, n - 1)]
+            } else if k > 0 {
+                states[(k - 1, nx - 1)]
+            } else {
+                0.0
+            };
+            b_grad += chain_prev * d;
+        }
+    }
+    Ok((
+        loss,
+        Gradients {
+            a: a_grad,
+            b: b_grad,
+            w_out: w_grad,
+            bias: bias_grad,
+            mask: None,
+        },
+    ))
+}
+
+/// The pre-PR training loop, preserved verbatim for measurement.
+fn legacy_train(ds: &Dataset, options: &TrainOptions) -> Result<(DfrClassifier, f64), CoreError> {
+    let mut model = DfrClassifier::paper_default(
+        options.nodes,
+        ds.channels(),
+        ds.num_classes(),
+        options.mask_seed,
+    )?;
+    model
+        .reservoir_mut()
+        .set_params(options.init.0, options.init.1)?;
+    let masked: Vec<Matrix> = ds
+        .train()
+        .iter()
+        .map(|s| model.reservoir().mask().apply(&s.series))
+        .collect();
+    let targets = ds.one_hot_train();
+    let mut sgd = Sgd::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(options.shuffle_seed);
+    let mut order: Vec<usize> = (0..ds.train().len()).collect();
+    for epoch in 0..options.epochs {
+        let lr_res = options.reservoir_schedule.lr(epoch);
+        let lr_out = options.output_schedule.lr(epoch);
+        order.shuffle(&mut rng);
+        for &i in &order {
+            // Pre-PR shape: clone the cached drive, allocate fresh state
+            // and cache matrices per sample.
+            let cloned = masked[i].clone();
+            let Some(states) = legacy_drive(model.reservoir().a(), model.reservoir().b(), &cloned)
+            else {
+                recover(&mut model, options)?;
+                continue;
+            };
+            let (features, probs) = legacy_forward(&model, &states)?;
+            let (_, mut grads) =
+                legacy_backprop(&model, &cloned, &states, &features, &probs, targets.row(i))?;
+            if !grads.is_finite() {
+                recover(&mut model, options)?;
+                continue;
+            }
+            if let Some(clip) = options.grad_clip {
+                let m = grads.max_abs();
+                if m > clip {
+                    grads.scale(clip / m);
+                }
+            }
+            // The pre-PR optimizer cloned the gradient buffers internally.
+            let grads = grads.clone();
+            sgd.step(&mut model, &grads, lr_res, lr_out, &options.bounds)?;
+        }
+    }
+    // Pre-PR feature assembly: per-sample masked/state/row allocations,
+    // rows appended one by one.
+    let mut features = Matrix::zeros(0, 0);
+    for s in ds.train() {
+        let masked = model.reservoir().mask().apply(&s.series);
+        let states = legacy_drive(model.reservoir().a(), model.reservoir().b(), &masked).ok_or(
+            CoreError::NumericalFailure {
+                context: "legacy ridge features",
+            },
+        )?;
+        let mut row = legacy_dprr(&states);
+        let scale = 1.0 / (states.rows().max(1) as f64);
+        for f in &mut row {
+            *f *= scale;
+        }
+        features.push_row(&row)?;
+    }
+    // Pre-PR readout sweep: one full ridge fit per β candidate.
+    let mut best: Option<FittedReadout> = None;
+    for &beta in &options.betas {
+        let Ok((w, bias)) = ridge_fit_intercept(&features, &targets, beta) else {
+            continue;
+        };
+        let w_out = w.transpose();
+        let train_loss = mean_cross_entropy(&features, &w_out, &bias, &targets)?;
+        if !train_loss.is_finite() {
+            continue;
+        }
+        if best
+            .as_ref()
+            .map_or(true, |b: &FittedReadout| train_loss < b.train_loss)
+        {
+            best = Some(FittedReadout {
+                w_out,
+                bias,
+                beta,
+                train_loss,
+            });
+        }
+    }
+    let fit = best.ok_or(CoreError::NumericalFailure {
+        context: "legacy ridge readout",
+    })?;
+    let beta = fit.beta;
+    model.set_readout(fit.w_out, fit.bias)?;
+    Ok((model, beta))
+}
+
+fn recover(model: &mut DfrClassifier, options: &TrainOptions) -> Result<(), CoreError> {
+    let (a, b) = (model.reservoir().a(), model.reservoir().b());
+    let (ia, ib) = options.init;
+    model
+        .reservoir_mut()
+        .set_params(0.5 * (a + ia), 0.5 * (b + ib))?;
+    Ok(())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 1.0);
+    let seed = args.get_usize("seed", 0) as u64;
+    let epochs = args.get_usize("epochs", 25);
+    let repeat = args.get_usize("repeat", 2).max(1);
+    let datasets = args.datasets();
+    let threads = apply_threads(&args);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let options = TrainOptions {
+        epochs,
+        ..TrainOptions::calibrated()
+    };
+
+    let widths = [7, 11, 13, 9, 6];
+    println!("Hot-path wall-clock: legacy (allocating) vs workspace training ({threads} threads)");
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "legacy(s)".into(),
+                "workspace(s)".into(),
+                "speedup".into(),
+                "ident".into(),
+            ],
+            &widths,
+        )
+    );
+
+    let mut json_rows = Vec::new();
+    let mut csv = String::from("dataset,epochs,legacy_s,workspace_s,speedup,identical,threads\n");
+    for which in datasets {
+        let ds = prepared_dataset(which, seed, scale);
+        let mut legacy_s = f64::INFINITY;
+        let mut workspace_s = f64::INFINITY;
+        let mut legacy_model = None;
+        let mut report = None;
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let r = train(&ds, &options).expect("workspace training failed");
+            workspace_s = workspace_s.min(t0.elapsed().as_secs_f64());
+            let t1 = Instant::now();
+            let l = legacy_train(&ds, &options).expect("legacy training failed");
+            legacy_s = legacy_s.min(t1.elapsed().as_secs_f64());
+            legacy_model = Some(l);
+            report = Some(r);
+        }
+        let (legacy_model, legacy_beta) = legacy_model.expect("repeat >= 1");
+        let report = report.expect("repeat >= 1");
+        // §8 contract: the refactored loop is a pure perf change.
+        let identical = legacy_model == report.model && legacy_beta == report.beta;
+        assert!(
+            identical,
+            "{}: legacy and workspace paths diverged (beta {} vs {})",
+            which.code(),
+            legacy_beta,
+            report.beta
+        );
+        let speedup = legacy_s / workspace_s.max(1e-12);
+        println!(
+            "{}",
+            row(
+                &[
+                    which.code().into(),
+                    format!("{legacy_s:.3}"),
+                    format!("{workspace_s:.3}"),
+                    format!("{speedup:.2}x"),
+                    "yes".into(),
+                ],
+                &widths,
+            )
+        );
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.3},{},{}\n",
+            which.code(),
+            epochs,
+            legacy_s,
+            workspace_s,
+            speedup,
+            identical,
+            threads
+        ));
+        json_rows.push(json_object(&[
+            ("dataset", json_str(which.code())),
+            ("epochs", epochs.to_string()),
+            ("legacy_s", json_f64(legacy_s)),
+            ("workspace_s", json_f64(workspace_s)),
+            ("speedup", json_f64(speedup)),
+            ("identical", identical.to_string()),
+            ("repeat", repeat.to_string()),
+            ("threads", threads.to_string()),
+            ("available_cores", cores.to_string()),
+            (
+                "methodology",
+                json_str(
+                    "legacy = pre-PR implementation frozen in this binary (indexed \
+                     recurrence, one-step DPRR sweeps, per-sample allocations/clones, \
+                     per-beta Gram); workspace = train() with TrainWorkspace + RidgePlan; \
+                     min wall-clock over `repeat` runs; bitwise model identity asserted",
+                ),
+            ),
+        ]));
+    }
+    let path = write_results("BENCH_hotpath.csv", &csv);
+    let json_path = write_results("BENCH_hotpath.json", &json_array(&json_rows));
+    println!("\nwrote {} and {}", path.display(), json_path.display());
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dfr-bench --bin table1 [-- --datasets ECG,LIB \
-//!     --scale 0.5 --max-divisions 20 --seed 0 --threads 4]
+//!     --scale 0.5 --max-divisions 20 --epochs 25 --seed 0 --threads 4]
 //! ```
 //!
 //! The dataset sweep fans out over the `dfr-pool` execution layer
@@ -54,8 +54,13 @@ fn main() {
     let scale = args.get_f64("scale", 1.0);
     let seed = args.get_usize("seed", 0) as u64;
     let max_divisions = args.get_usize("max-divisions", 24);
+    let epochs = args.get_usize("epochs", 25);
     let datasets = args.datasets();
     let threads = apply_threads(&args);
+    let train_options = TrainOptions {
+        epochs,
+        ..TrainOptions::calibrated()
+    };
 
     let widths = [7, 8, 11, 8, 11, 12, 10, 11, 13];
     let header = row(
@@ -77,7 +82,7 @@ fn main() {
 
     let results = dfr_pool::par_map_collect(&datasets, |_, &which| {
         let ds = prepared_dataset(which, seed, scale);
-        let bp = train(&ds, &TrainOptions::calibrated()).expect("bp training failed");
+        let bp = train(&ds, &train_options).expect("bp training failed");
         let bp_time = bp.total_seconds();
 
         let gs_options = GridOptions {

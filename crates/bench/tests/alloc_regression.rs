@@ -1,0 +1,203 @@
+//! Allocation-count regression test for the training hot path.
+//!
+//! Installs a counting global allocator and proves that, after warm-up,
+//! one SGD step (buffer-reusing forward pass + backward pass + parameter
+//! update) performs **zero** heap allocations — the contract behind the
+//! workspace-buffer convention of `DESIGN.md` §9. The same is pinned for
+//! the streaming (constant-memory) step and for the `RidgePlan` β-sweep.
+//!
+//! Gated behind the `count-allocs` feature so normal test runs keep the
+//! system allocator untouched:
+//!
+//! ```text
+//! cargo test -p dfr-bench --features count-allocs --test alloc_regression --release
+//! ```
+#![cfg(feature = "count-allocs")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dfr_core::backprop::{backprop_into, BackpropOptions};
+use dfr_core::optimizer::{ParamBounds, Sgd};
+use dfr_core::streaming::{streaming_backprop_into, StreamingCache, StreamingForward};
+use dfr_core::workspace::TrainWorkspace;
+use dfr_core::DfrClassifier;
+use dfr_linalg::ridge::RidgePlan;
+use dfr_linalg::Matrix;
+
+/// Forwards to the system allocator, counting every allocation made by a
+/// thread whose `COUNTING` flag is up. Deallocations are not counted:
+/// freeing warm-up storage inside the measured region would be legal,
+/// allocating is not.
+///
+/// The flag is **thread-local** (const-initialised `Cell`, so reading it
+/// inside the allocator cannot itself allocate): the default test harness
+/// runs the `#[test]` fns concurrently, and a process-global flag would
+/// attribute another test's setup allocations to whichever test is
+/// measuring — a flaky false positive. A mutex additionally serialises
+/// the measured sections so the shared counter belongs to one test at a
+/// time.
+struct CountingAllocator;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether the current thread is inside a measured region.
+/// (`try_with`: the thread-local may be gone during thread teardown.)
+fn counting_here() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting_here() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counting_here() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting_here() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Counts allocations performed by `f` on this thread.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let _serialise = MEASURE_LOCK.lock().expect("measure lock");
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    let r = f();
+    COUNTING.with(|c| c.set(false));
+    (ALLOCS.load(Ordering::SeqCst), r)
+}
+
+fn model_and_series(nx: usize, t: usize) -> (DfrClassifier, Matrix, Vec<f64>) {
+    let mut model = DfrClassifier::paper_default(nx, 3, 4, 0).expect("model");
+    model.reservoir_mut().set_params(0.05, 0.1).expect("params");
+    for j in 0..model.feature_dim() {
+        model.w_out_mut()[(0, j)] = 0.01 * ((j % 11) as f64 - 5.0);
+        model.w_out_mut()[(2, j)] = -0.02 * ((j % 7) as f64 - 3.0);
+    }
+    let data: Vec<f64> = (0..t * 3).map(|i| ((i as f64) * 0.29).sin()).collect();
+    let series = Matrix::from_vec(t, 3, data).expect("sized");
+    (model, series, vec![0.0, 0.0, 1.0, 0.0])
+}
+
+#[test]
+fn sgd_step_is_allocation_free_after_warmup() {
+    // Serial region: the pool spawns no threads, so any allocation counted
+    // below comes from the step itself.
+    dfr_pool::with_threads(1, || {
+        let (mut model, series, target) = model_and_series(30, 120);
+        let masked = model.reservoir().mask().apply(&series);
+        let options = BackpropOptions::default();
+        let bounds = ParamBounds::default();
+        let mut sgd = Sgd::new();
+        let mut ws = TrainWorkspace::new();
+
+        let mut step = |model: &mut DfrClassifier, ws: &mut TrainWorkspace| {
+            model
+                .forward_masked_into(&masked, &mut ws.cache)
+                .expect("forward");
+            let TrainWorkspace { cache, bp } = ws;
+            backprop_into(model, &series, cache, &target, &options, bp).expect("backprop");
+            assert!(bp.grads.is_finite());
+            sgd.step(model, &bp.grads, 1e-4, 1e-4, &bounds)
+                .expect("sgd");
+        };
+
+        for _ in 0..3 {
+            step(&mut model, &mut ws); // warm-up: buffers reach steady state
+        }
+        let (allocs, ()) = count_allocs(|| {
+            for _ in 0..100 {
+                step(&mut model, &mut ws);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up SGD steps must not allocate ({allocs} allocations in 100 steps)"
+        );
+    });
+}
+
+#[test]
+fn streaming_step_is_allocation_free_after_warmup() {
+    dfr_pool::with_threads(1, || {
+        let (model, series, target) = model_and_series(20, 80);
+        let forward = StreamingForward::paper();
+        let mut cache = StreamingCache::empty();
+        let mut bp = dfr_core::workspace::BackpropWorkspace::new();
+        let mut step = || {
+            forward.run_into(&model, &series, &mut cache).expect("run");
+            streaming_backprop_into(&model, &cache, &target, &mut bp).expect("backprop");
+        };
+        for _ in 0..3 {
+            step();
+        }
+        let (allocs, ()) = count_allocs(|| {
+            for _ in 0..100 {
+                step();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up streaming steps must not allocate ({allocs} allocations in 100 steps)"
+        );
+    });
+}
+
+#[test]
+fn ridge_plan_sweep_is_allocation_free_after_warmup() {
+    dfr_pool::with_threads(1, || {
+        let n = 40;
+        let p = 25;
+        let x = Matrix::from_vec(
+            n,
+            p,
+            (0..n * p).map(|i| ((i as f64) * 0.13).sin()).collect(),
+        )
+        .expect("sized");
+        let mut y = Matrix::zeros(n, 5);
+        for i in 0..n {
+            y[(i, i % 5)] = 1.0;
+        }
+        let mut plan = RidgePlan::new(&x, &y).expect("plan");
+        let mut w = Matrix::zeros(0, 0);
+        plan.solve_into(1e-4, &mut w).expect("warm-up solve");
+        // Per-β work after warm-up: re-add βI, refactor, substitute — all
+        // in reused buffers. In particular the Gram matrix is never
+        // recomputed (construction-time only), which this count pins.
+        let (allocs, ()) = count_allocs(|| {
+            for &beta in &[1e-6, 1e-4, 1e-2, 1.0] {
+                plan.solve_into(beta, &mut w).expect("solve");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up RidgePlan sweeps must not allocate ({allocs} allocations)"
+        );
+    });
+}

@@ -24,8 +24,9 @@
 //! gradient exactly).
 
 use crate::model::{DfrClassifier, ForwardCache};
+use crate::workspace::BackpropWorkspace;
 use crate::CoreError;
-use dfr_linalg::activation::softmax_cross_entropy_grad;
+use dfr_linalg::activation::softmax_cross_entropy_grad_into;
 use dfr_linalg::Matrix;
 use dfr_reservoir::nonlinearity::Nonlinearity;
 
@@ -146,6 +147,31 @@ pub fn backprop<N: Nonlinearity + Clone>(
     target: &[f64],
     options: &BackpropOptions,
 ) -> Result<(f64, Gradients), CoreError> {
+    let mut ws = BackpropWorkspace::new();
+    let loss = backprop_into(model, series, cache, target, options, &mut ws)?;
+    Ok((loss, ws.into_gradients()))
+}
+
+/// [`backprop`] writing gradients and every intermediate into a reused
+/// [`BackpropWorkspace`] — the allocation-free form the trainer's SGD loop
+/// runs per sample. On success `ws.grads` holds the gradients; results are
+/// bitwise identical to [`backprop`].
+///
+/// # Errors
+///
+/// Same as [`backprop`]; on error the workspace contents are unspecified.
+///
+/// # Panics
+///
+/// Panics if `target.len()` differs from the model's class count.
+pub fn backprop_into<N: Nonlinearity + Clone>(
+    model: &DfrClassifier<N>,
+    series: &Matrix,
+    cache: &ForwardCache,
+    target: &[f64],
+    options: &BackpropOptions,
+    ws: &mut BackpropWorkspace,
+) -> Result<f64, CoreError> {
     assert_eq!(
         target.len(),
         model.num_classes(),
@@ -155,16 +181,20 @@ pub fn backprop<N: Nonlinearity + Clone>(
     let nx = model.nodes();
     let t_len = cache.run.len();
     let nr = model.feature_dim();
+    let ny = model.num_classes();
 
     // ---- Stage 1: output layer (Eqs. 16–17) -----------------------------
-    let g = softmax_cross_entropy_grad(&cache.probs, target); // y − d
-    let bias_grad = g.clone();
-    let mut w_grad = Matrix::zeros(model.num_classes(), nr);
-    for (c, &gc) in g.iter().enumerate() {
+    ws.g.resize(ny, 0.0);
+    softmax_cross_entropy_grad_into(&cache.probs, target, &mut ws.g); // y − d
+    ws.grads.bias.resize(ny, 0.0);
+    ws.grads.bias.copy_from_slice(&ws.g);
+    ws.grads.w_out.resize(ny, nr);
+    ws.grads.w_out.fill_zero();
+    for (c, &gc) in ws.g.iter().enumerate() {
         if gc == 0.0 {
             continue;
         }
-        let row = w_grad.row_mut(c);
+        let row = ws.grads.w_out.row_mut(c);
         for (w, &r) in row.iter_mut().zip(&cache.features) {
             *w = gc * r;
         }
@@ -173,31 +203,33 @@ pub fn backprop<N: Nonlinearity + Clone>(
     // 1/T (see `DfrClassifier::forward_from_run`), so the gradient with
     // respect to the *raw* sums of Eqs. 18–19 — what the DPRR backward
     // stage below needs — carries the same 1/T factor.
-    let mut dr = model.w_out().t_matvec(&g)?;
+    ws.dr.resize(nr, 0.0);
+    model.w_out().t_matvec_into(&ws.g, &mut ws.dr)?;
     let scale = 1.0 / (cache.run.len().max(1) as f64);
-    for d in &mut dr {
+    for d in &mut ws.dr {
         *d *= scale;
+    }
+    ws.grads.a = 0.0;
+    ws.grads.b = 0.0;
+    if options.mask_gradient {
+        let mg = ws.grads.mask.get_or_insert_with(|| Matrix::zeros(0, 0));
+        mg.resize(nx, series.cols());
+        mg.fill_zero();
+    } else {
+        ws.grads.mask = None;
     }
 
     // Degenerate empty series: only the readout has gradients.
     if t_len == 0 {
-        return Ok((
-            loss,
-            Gradients {
-                a: 0.0,
-                b: 0.0,
-                w_out: w_grad,
-                bias: bias_grad,
-                mask: options
-                    .mask_gradient
-                    .then(|| Matrix::zeros(nx, series.cols())),
-            },
-        ));
+        return Ok(loss);
     }
 
     // Split ∂L/∂r into the product block (N_x × N_x) and the bias block.
-    let dr_products = Matrix::from_vec(nx, nx, dr[..nx * nx].to_vec())?;
-    let dr_sums = &dr[nx * nx..];
+    ws.dr_products.resize(nx, nx);
+    ws.dr_products
+        .as_mut_slice()
+        .copy_from_slice(&ws.dr[..nx * nx]);
+    let dr_sums = &ws.dr[nx * nx..];
 
     let window = options.mode.effective_window(t_len);
     let k_start = t_len - window; // first input step to backpropagate through
@@ -213,20 +245,24 @@ pub fn backprop<N: Nonlinearity + Clone>(
     //   ∂L/∂r[Nx²+n]                    (bias block)
     // The truncated mode simply has no k+1 for the last step (Eq. 33); for
     // inner window rows the future term is kept (it is available for free).
-    let mut bpv = Matrix::zeros(window, nx);
+    ws.bpv.resize(window, nx);
+    ws.bpv.fill_zero();
+    ws.term.resize(nx, 0.0);
     for k in k_start..t_len {
         let row = k - k_start;
         if k > 0 {
-            let term1 = dr_products.matvec(states.row(k - 1))?;
-            bpv.row_mut(row).copy_from_slice(&term1);
+            ws.dr_products
+                .matvec_into(states.row(k - 1), &mut ws.term)?;
+            ws.bpv.row_mut(row).copy_from_slice(&ws.term);
         }
         if k + 1 < t_len {
-            let term2 = dr_products.t_matvec(states.row(k + 1))?;
-            for (o, t2) in bpv.row_mut(row).iter_mut().zip(term2) {
+            ws.dr_products
+                .t_matvec_into(states.row(k + 1), &mut ws.term)?;
+            for (o, &t2) in ws.bpv.row_mut(row).iter_mut().zip(&ws.term) {
                 *o += t2;
             }
         }
-        for (o, &s) in bpv.row_mut(row).iter_mut().zip(dr_sums) {
+        for (o, &s) in ws.bpv.row_mut(row).iter_mut().zip(dr_sums) {
             *o += s;
         }
     }
@@ -234,33 +270,31 @@ pub fn backprop<N: Nonlinearity + Clone>(
     // ---- Stage 3: reservoir layer (Eqs. 24–32 / 34–36) -------------------
     // ∂L/∂s over the flattened node sequence of the window, iterated
     // backwards:  ds[t] = bpv[t] + B·ds[t+1] + A·f′(z_{t+Nx})·ds[t+Nx].
-    let mut ds = Matrix::zeros(window, nx);
+    ws.ds.resize(window, nx);
+    ws.ds.fill_zero();
     let mut a_grad = 0.0;
     let mut b_grad = 0.0;
-    let mut mask_grad = options
-        .mask_gradient
-        .then(|| Matrix::zeros(nx, series.cols()));
     for k in (k_start..t_len).rev() {
         let row = k - k_start;
         for n in (0..nx).rev() {
-            let mut d = bpv[(row, n)];
+            let mut d = ws.bpv[(row, n)];
             // B-chain successor: flattened t+1 is (k, n+1), or (k+1, 0).
             if n + 1 < nx {
-                d += b * ds[(row, n + 1)];
+                d += b * ws.ds[(row, n + 1)];
             } else if k + 1 < t_len {
-                d += b * ds[(row + 1, 0)];
+                d += b * ws.ds[(row + 1, 0)];
             }
             // f-path successor: same node, next input step (t + Nx).
             if k + 1 < t_len {
                 let z_next = cache.run.preactivation(k + 1, n);
-                d += a * f.derivative(z_next) * ds[(row + 1, n)];
+                d += a * f.derivative(z_next) * ws.ds[(row + 1, n)];
             }
-            ds[(row, n)] = d;
+            ws.ds[(row, n)] = d;
 
             let z = cache.run.preactivation(k, n);
             a_grad += f.eval(z) * d; // Eq. 31 / 35: ∂(A·f)/∂A = f(z)
             b_grad += cache.run.chain_predecessor(k, n) * d; // Eq. 32 / 36
-            if let Some(mg) = &mut mask_grad {
+            if let Some(mg) = &mut ws.grads.mask {
                 // ∂L/∂j(k)_n = A·f′(z)·ds, and j(k)_n = Σ_c M[n][c]·u(k)_c.
                 let dj = a * f.derivative(z) * d;
                 if dj != 0.0 {
@@ -271,17 +305,9 @@ pub fn backprop<N: Nonlinearity + Clone>(
             }
         }
     }
-
-    Ok((
-        loss,
-        Gradients {
-            a: a_grad,
-            b: b_grad,
-            w_out: w_grad,
-            bias: bias_grad,
-            mask: mask_grad,
-        },
-    ))
+    ws.grads.a = a_grad;
+    ws.grads.b = b_grad;
+    Ok(loss)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use crate::model::DfrClassifier;
 use crate::readout::{fit_readout, readout_accuracy};
-use crate::trainer::features_for;
+use crate::trainer::features_for_into;
 use crate::CoreError;
 use dfr_data::Dataset;
 use dfr_linalg::Matrix;
@@ -130,19 +130,63 @@ pub fn evaluate_point(
     a: f64,
     b: f64,
 ) -> Result<GridPoint, CoreError> {
-    if ds.train().is_empty() || ds.test().is_empty() {
-        return Err(CoreError::InvalidConfig {
-            field: "dataset",
-            detail: "grid evaluation needs non-empty train and test splits".into(),
-        });
+    let mut ws = GridWorkspace::new(ds, options)?;
+    evaluate_point_with(ds, options, a, b, &mut ws)
+}
+
+/// Everything one `(A, B)` evaluation needs that does not depend on the
+/// point: the model skeleton (mask and readout shape are point-invariant —
+/// only `set_params` changes per point), the one-hot targets and labels,
+/// and the train/test feature matrices recycled across points.
+///
+/// Grid search evaluates thousands of points against the same dataset, so
+/// each pool worker clones one prototype workspace and reuses it for its
+/// whole block of cells (per-worker scratch, never shared — `DESIGN.md`
+/// §9).
+#[derive(Debug, Clone)]
+struct GridWorkspace {
+    model: DfrClassifier,
+    targets: Matrix,
+    labels: Vec<usize>,
+    train_features: Matrix,
+    test_features: Matrix,
+}
+
+impl GridWorkspace {
+    fn new(ds: &Dataset, options: &GridOptions) -> Result<Self, CoreError> {
+        if ds.train().is_empty() || ds.test().is_empty() {
+            return Err(CoreError::InvalidConfig {
+                field: "dataset",
+                detail: "grid evaluation needs non-empty train and test splits".into(),
+            });
+        }
+        Ok(GridWorkspace {
+            model: DfrClassifier::paper_default(
+                options.nodes,
+                ds.channels(),
+                ds.num_classes(),
+                options.mask_seed,
+            )?,
+            targets: ds.one_hot_train(),
+            labels: ds.test().iter().map(|s| s.label).collect(),
+            train_features: Matrix::zeros(0, 0),
+            test_features: Matrix::zeros(0, 0),
+        })
     }
-    let mut model = DfrClassifier::paper_default(
-        options.nodes,
-        ds.channels(),
-        ds.num_classes(),
-        options.mask_seed,
-    )?;
-    model.reservoir_mut().set_params(a, b)?;
+}
+
+/// [`evaluate_point`] against a reused [`GridWorkspace`] — bit-identical
+/// (the reset model state and cached targets equal what a fresh evaluation
+/// would build), but free of the per-point model/target/feature-matrix
+/// allocations.
+fn evaluate_point_with(
+    ds: &Dataset,
+    options: &GridOptions,
+    a: f64,
+    b: f64,
+    ws: &mut GridWorkspace,
+) -> Result<GridPoint, CoreError> {
+    ws.model.reservoir_mut().set_params(a, b)?;
 
     let failed = GridPoint {
         a,
@@ -151,30 +195,36 @@ pub fn evaluate_point(
         train_loss: f64::INFINITY,
         test_accuracy: 0.0,
     };
-    let train_features = match features_for(&model, ds.train().iter().map(|s| &s.series)) {
-        Ok(f) => f,
+    match features_for_into(
+        &ws.model,
+        ds.train().iter().map(|s| &s.series),
+        &mut ws.train_features,
+    ) {
+        Ok(()) => {}
         Err(CoreError::Reservoir(dfr_reservoir::ReservoirError::Diverged { .. })) => {
             return Ok(failed)
         }
         Err(e) => return Err(e),
-    };
-    let targets = ds.one_hot_train();
-    let fit = match fit_readout(&train_features, &targets, &options.betas) {
+    }
+    let fit = match fit_readout(&ws.train_features, &ws.targets, &options.betas) {
         Ok(f) => f,
         // Enormous (but finite) features can defeat the Cholesky factor; the
         // point is unusable, not the search.
         Err(CoreError::Linalg(_)) | Err(CoreError::NumericalFailure { .. }) => return Ok(failed),
         Err(e) => return Err(e),
     };
-    let test_features = match features_for(&model, ds.test().iter().map(|s| &s.series)) {
-        Ok(f) => f,
+    match features_for_into(
+        &ws.model,
+        ds.test().iter().map(|s| &s.series),
+        &mut ws.test_features,
+    ) {
+        Ok(()) => {}
         Err(CoreError::Reservoir(dfr_reservoir::ReservoirError::Diverged { .. })) => {
             return Ok(failed)
         }
         Err(e) => return Err(e),
-    };
-    let labels: Vec<usize> = ds.test().iter().map(|s| s.label).collect();
-    let test_accuracy = readout_accuracy(&test_features, &fit.w_out, &fit.bias, &labels)?;
+    }
+    let test_accuracy = readout_accuracy(&ws.test_features, &fit.w_out, &fit.bias, &ws.labels)?;
     Ok(GridPoint {
         a,
         b,
@@ -201,7 +251,15 @@ fn evaluate_cells(
         .iter()
         .flat_map(|&a| b_points.iter().map(move |&b| (a, b)))
         .collect();
-    dfr_pool::par_try_map_collect(&cells, |_, &(a, b)| evaluate_point(ds, options, a, b))
+    // Validate once and build the point-invariant state (model skeleton,
+    // targets, labels); each worker clones the prototype and recycles it
+    // across its block of cells.
+    let proto = GridWorkspace::new(ds, options)?;
+    dfr_pool::par_try_map_collect_with(
+        &cells,
+        || proto.clone(),
+        |_, &(a, b), ws| evaluate_point_with(ds, options, a, b, ws),
+    )
 }
 
 /// Runs the paper's grid-search protocol: divisions `g = 1, 2, …` until the

@@ -20,6 +20,8 @@
 //!   argues against).
 //! * [`memory`] — the closed-form storage model behind Table 2.
 //! * [`metrics`] — accuracy and confusion matrices.
+//! * [`workspace`] — reusable training workspaces: the SGD hot path runs
+//!   allocation-free after warm-up (`DESIGN.md` §9).
 //!
 //! # Example
 //!
@@ -49,6 +51,8 @@ pub mod optimizer;
 pub mod readout;
 pub mod streaming;
 pub mod trainer;
+pub mod workspace;
 
 pub use error::CoreError;
 pub use model::{DfrClassifier, ForwardCache};
+pub use workspace::{BackpropWorkspace, TrainWorkspace};

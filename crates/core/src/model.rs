@@ -1,7 +1,7 @@
 //! The end-to-end DFR classifier: modular reservoir → DPRR → softmax readout.
 
 use crate::CoreError;
-use dfr_linalg::activation::{cross_entropy, softmax};
+use dfr_linalg::activation::{cross_entropy, softmax, softmax_into};
 use dfr_linalg::Matrix;
 use dfr_reservoir::mask::Mask;
 use dfr_reservoir::modular::{ModularDfr, ReservoirRun};
@@ -51,7 +51,26 @@ pub struct ForwardCache {
     pub probs: Vec<f64>,
 }
 
+impl Default for ForwardCache {
+    fn default() -> Self {
+        ForwardCache::empty()
+    }
+}
+
 impl ForwardCache {
+    /// An empty cache — the seed value for the buffer-reusing forward
+    /// passes ([`DfrClassifier::forward_into`],
+    /// [`DfrClassifier::forward_masked_into`]). Every buffer grows to its
+    /// workload high-water mark on first use and is recycled afterwards.
+    pub fn empty() -> Self {
+        ForwardCache {
+            run: ReservoirRun::empty(),
+            features: Vec::new(),
+            logits: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+
     /// Predicted class (argmax of the probabilities).
     pub fn prediction(&self) -> usize {
         dfr_linalg::stats::argmax(&self.probs).expect("at least one class")
@@ -157,8 +176,45 @@ impl<N: Nonlinearity + Clone> DfrClassifier<N> {
     ///
     /// Propagates reservoir errors (channel mismatch, divergence).
     pub fn forward(&self, series: &Matrix) -> Result<ForwardCache, CoreError> {
-        let run = self.reservoir.run(series)?;
-        self.forward_from_run(run)
+        let mut cache = ForwardCache::empty();
+        self.forward_into(series, &mut cache)?;
+        Ok(cache)
+    }
+
+    /// [`DfrClassifier::forward`] writing into a caller-owned cache,
+    /// recycling its reservoir-run, feature, logit and probability buffers
+    /// — allocation-free once the buffers reach the longest series in the
+    /// workload. Bitwise identical to [`DfrClassifier::forward`].
+    ///
+    /// On error the cache contents are unspecified; reuse it only after a
+    /// later forward succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DfrClassifier::forward`].
+    pub fn forward_into(&self, series: &Matrix, cache: &mut ForwardCache) -> Result<(), CoreError> {
+        self.reservoir.run_into(series, &mut cache.run)?;
+        self.finish_forward(cache)
+    }
+
+    /// Buffer-reusing forward pass from a cached masked drive — the
+    /// trainer's per-sample fast path (the mask is fixed across epochs, so
+    /// the masked inputs are computed once and this pass recycles one
+    /// workspace cache for every sample of every epoch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModularDfr::run_masked`]
+    /// ([`dfr_reservoir::ReservoirError::ChannelMismatch`] /
+    /// [`dfr_reservoir::ReservoirError::Diverged`], wrapped in
+    /// [`CoreError::Reservoir`]).
+    pub fn forward_masked_into(
+        &self,
+        masked: &Matrix,
+        cache: &mut ForwardCache,
+    ) -> Result<(), CoreError> {
+        self.reservoir.run_masked_into(masked, &mut cache.run)?;
+        self.finish_forward(cache)
     }
 
     /// Forward pass from a pre-computed reservoir run (lets the trainer
@@ -176,22 +232,31 @@ impl<N: Nonlinearity + Clone> DfrClassifier<N> {
     /// Returns [`CoreError::Linalg`] on internal shape errors (unreachable
     /// for caches produced by this model).
     pub fn forward_from_run(&self, run: ReservoirRun) -> Result<ForwardCache, CoreError> {
-        let mut features = Dprr.features(run.states());
-        let scale = 1.0 / (run.len().max(1) as f64);
-        for f in &mut features {
+        let mut cache = ForwardCache::empty();
+        cache.run = run;
+        self.finish_forward(&mut cache)?;
+        Ok(cache)
+    }
+
+    /// DPRR + readout from `cache.run`, writing every product into the
+    /// cache's reused buffers (the shared tail of all forward entry
+    /// points).
+    fn finish_forward(&self, cache: &mut ForwardCache) -> Result<(), CoreError> {
+        let dim = Dprr.dim(cache.run.nodes());
+        cache.features.resize(dim, 0.0);
+        Dprr.features_into(cache.run.states(), &mut cache.features);
+        let scale = 1.0 / (cache.run.len().max(1) as f64);
+        for f in &mut cache.features {
             *f *= scale;
         }
-        let mut logits = self.w_out.matvec(&features)?;
-        for (l, b) in logits.iter_mut().zip(&self.bias) {
+        cache.logits.resize(self.num_classes(), 0.0);
+        self.w_out.matvec_into(&cache.features, &mut cache.logits)?;
+        for (l, b) in cache.logits.iter_mut().zip(&self.bias) {
             *l += b;
         }
-        let probs = softmax(&logits);
-        Ok(ForwardCache {
-            run,
-            features,
-            logits,
-            probs,
-        })
+        cache.probs.resize(self.num_classes(), 0.0);
+        softmax_into(&cache.logits, &mut cache.probs);
+        Ok(())
     }
 
     /// Logits and probabilities for an externally computed feature vector

@@ -149,7 +149,9 @@ impl Sgd {
                 context: "sgd gradients",
             });
         }
-        let (ga, gb, gw, gbias) = if self.momentum > 0.0 {
+        // Borrow the effective update in place — no per-step gradient
+        // clones on either path (the hot loop's allocation-free contract).
+        let (ga, gb, gw, gbias): (f64, f64, &Matrix, &[f64]) = if self.momentum > 0.0 {
             let v = self.velocity.get_or_insert_with(|| Velocity {
                 a: 0.0,
                 b: 0.0,
@@ -163,16 +165,16 @@ impl Sgd {
             for (vb, &g) in v.bias.iter_mut().zip(&grads.bias) {
                 *vb = self.momentum * *vb + g;
             }
-            (v.a, v.b, v.w_out.clone(), v.bias.clone())
+            (v.a, v.b, &v.w_out, &v.bias)
         } else {
-            (grads.a, grads.b, grads.w_out.clone(), grads.bias.clone())
+            (grads.a, grads.b, &grads.w_out, &grads.bias)
         };
 
         let (a0, b0) = (model.reservoir().a(), model.reservoir().b());
         let (a1, b1) = bounds.clamp(a0 - lr_reservoir * ga, b0 - lr_reservoir * gb);
         model.reservoir_mut().set_params(a1, b1)?;
-        model.w_out_mut().axpy(-lr_output, &gw)?;
-        for (bv, g) in model.bias_mut().iter_mut().zip(&gbias) {
+        model.w_out_mut().axpy(-lr_output, gw)?;
+        for (bv, g) in model.bias_mut().iter_mut().zip(gbias) {
             *bv -= lr_output * g;
         }
         if model.w_out().as_slice().iter().any(|w| !w.is_finite()) {

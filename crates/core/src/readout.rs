@@ -8,8 +8,8 @@
 //! in how `A` and `B` are found.
 
 use crate::CoreError;
-use dfr_linalg::activation::{cross_entropy_from_logits, softmax};
-use dfr_linalg::ridge::ridge_fit_intercept;
+use dfr_linalg::activation::{cross_entropy_from_logits, softmax_in_place};
+use dfr_linalg::ridge::{augment_ones, RidgePlan};
 use dfr_linalg::Matrix;
 
 /// The paper's β candidates.
@@ -65,16 +65,39 @@ pub fn fit_readout(
             detail: "at least one regularisation candidate is required".into(),
         });
     }
+    // The intercept-augmented system and its Gram matrix (the dominant
+    // O(n²p) cost of a fit) depend only on the data, not on β: build them
+    // exactly once and sweep every candidate through the prepared plan,
+    // which per β only re-adds βI and refactors. Results per β are bitwise
+    // identical to a standalone `ridge_fit_intercept` call.
+    let aug = augment_ones(features);
+    // Plan-construction failures (shape/emptiness) are β-independent:
+    // every candidate would fail with this same error, so fail fast.
+    let mut plan = RidgePlan::new(&aug, targets)?;
+    let p = features.cols();
     let mut best: Option<FittedReadout> = None;
     let mut first_err: Option<CoreError> = None;
+    let mut w_aug = Matrix::zeros(0, 0);
     for &beta in betas {
-        match try_fit(features, targets, beta) {
-            Ok(candidate) => {
+        match try_fit(&mut plan, &mut w_aug, p, features, targets, beta) {
+            // A candidate with a non-finite training loss can never be
+            // "the smallest loss" — NaN in particular would otherwise
+            // survive as an early `best` (NaN never compares `<`).
+            // `try_fit` converts those to errors; guard here too so the
+            // selection stays correct under any future fit path.
+            Ok(candidate) if candidate.train_loss.is_finite() => {
                 if best
                     .as_ref()
                     .map_or(true, |b| candidate.train_loss < b.train_loss)
                 {
                     best = Some(candidate);
+                }
+            }
+            Ok(_) => {
+                if first_err.is_none() {
+                    first_err = Some(CoreError::NumericalFailure {
+                        context: "ridge readout loss",
+                    });
                 }
             }
             Err(e) => {
@@ -91,11 +114,26 @@ pub fn fit_readout(
     })
 }
 
-fn try_fit(features: &Matrix, targets: &Matrix, beta: f64) -> Result<FittedReadout, CoreError> {
-    let (w, b) = ridge_fit_intercept(features, targets, beta)?;
-    // ridge returns W as N_r × N_y; the readout convention is N_y × N_r.
-    let w_out = w.transpose();
-    let train_loss = mean_cross_entropy(features, &w_out, &b, targets)?;
+fn try_fit(
+    plan: &mut RidgePlan<'_>,
+    w_aug: &mut Matrix,
+    p: usize,
+    features: &Matrix,
+    targets: &Matrix,
+    beta: f64,
+) -> Result<FittedReadout, CoreError> {
+    plan.solve_into(beta, w_aug)?;
+    // ridge returns W as (N_r + 1) × N_y; the readout convention is
+    // N_y × N_r plus a separate bias row.
+    let q = w_aug.cols();
+    let mut w_out = Matrix::zeros(q, p);
+    for i in 0..p {
+        for (c, &v) in w_aug.row(i).iter().enumerate() {
+            w_out[(c, i)] = v;
+        }
+    }
+    let bias = w_aug.row(p).to_vec();
+    let train_loss = mean_cross_entropy(features, &w_out, &bias, targets)?;
     if !train_loss.is_finite() {
         return Err(CoreError::NumericalFailure {
             context: "ridge readout loss",
@@ -103,7 +141,7 @@ fn try_fit(features: &Matrix, targets: &Matrix, beta: f64) -> Result<FittedReado
     }
     Ok(FittedReadout {
         w_out,
-        bias: b,
+        bias,
         beta,
         train_loss,
     })
@@ -125,8 +163,9 @@ pub fn mean_cross_entropy(
         return Ok(0.0);
     }
     let mut total = 0.0;
+    let mut logits = vec![0.0; w_out.rows()];
     for i in 0..n {
-        let mut logits = w_out.matvec(features.row(i))?;
+        w_out.matvec_into(features.row(i), &mut logits)?;
         for (l, b) in logits.iter_mut().zip(bias) {
             *l += b;
         }
@@ -152,13 +191,14 @@ pub fn readout_accuracy(
         return Ok(0.0);
     }
     let mut correct = 0usize;
+    let mut logits = vec![0.0; w_out.rows()];
     for (i, &label) in labels.iter().enumerate() {
-        let mut logits = w_out.matvec(features.row(i))?;
+        w_out.matvec_into(features.row(i), &mut logits)?;
         for (l, b) in logits.iter_mut().zip(bias) {
             *l += b;
         }
-        let probs = softmax(&logits);
-        if dfr_linalg::stats::argmax(&probs) == Some(label) {
+        softmax_in_place(&mut logits);
+        if dfr_linalg::stats::argmax(&logits) == Some(label) {
             correct += 1;
         }
     }
@@ -208,6 +248,40 @@ mod tests {
         let only = fit_readout(&x, &y, &[1.0]).unwrap();
         assert_eq!(only.beta, 1.0);
         assert!(only.train_loss >= fit.train_loss);
+    }
+
+    #[test]
+    fn nonfinite_candidates_fall_through_to_error() {
+        // Features large enough that the Gram overflows to infinity: every
+        // β candidate fails (non-positive-definite / non-finite loss), and
+        // fit_readout must surface an error instead of keeping a candidate
+        // whose NaN loss would win the `<` selection by arriving first.
+        let x = Matrix::filled(4, 2, 1e200);
+        let mut y = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            y[(i, i % 2)] = 1.0;
+        }
+        let err = fit_readout(&x, &y, &PAPER_BETAS).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Linalg(_) | CoreError::NumericalFailure { .. }
+        ));
+    }
+
+    #[test]
+    fn sweep_matches_standalone_intercept_fits_bitwise() {
+        let (x, y, _) = separable();
+        for &beta in &PAPER_BETAS {
+            let fit = fit_readout(&x, &y, &[beta]).unwrap();
+            let (w, b) = dfr_linalg::ridge::ridge_fit_intercept(&x, &y, beta).unwrap();
+            let standalone = w.transpose();
+            for (a, e) in fit.w_out.as_slice().iter().zip(standalone.as_slice()) {
+                assert_eq!(a.to_bits(), e.to_bits(), "beta {beta}");
+            }
+            for (a, e) in fit.bias.iter().zip(&b) {
+                assert_eq!(a.to_bits(), e.to_bits(), "beta {beta}");
+            }
+        }
     }
 
     #[test]

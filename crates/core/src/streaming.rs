@@ -18,8 +18,9 @@
 
 use crate::backprop::{backprop, BackpropMode, BackpropOptions, Gradients};
 use crate::model::DfrClassifier;
+use crate::workspace::BackpropWorkspace;
 use crate::CoreError;
-use dfr_linalg::activation::softmax;
+use dfr_linalg::activation::{softmax_cross_entropy_grad_into, softmax_into};
 use dfr_linalg::Matrix;
 use dfr_reservoir::modular::DIVERGENCE_LIMIT;
 use dfr_reservoir::nonlinearity::Nonlinearity;
@@ -42,9 +43,36 @@ pub struct StreamingCache {
     pub tail_masked: Matrix,
     /// Series length `T`.
     pub t_len: usize,
+    /// Rolling state `x(k−1)` scratch, reused across samples.
+    prev: Vec<f64>,
+    /// Rolling state `x(k)` scratch.
+    current: Vec<f64>,
+    /// Per-step masked drive `j(k)` scratch.
+    j_row: Vec<f64>,
+}
+
+impl Default for StreamingCache {
+    fn default() -> Self {
+        StreamingCache::empty()
+    }
 }
 
 impl StreamingCache {
+    /// An empty cache — the seed value for [`StreamingForward::run_into`]
+    /// buffer reuse.
+    pub fn empty() -> Self {
+        StreamingCache {
+            features: Vec::new(),
+            logits: Vec::new(),
+            probs: Vec::new(),
+            tail_states: Matrix::zeros(0, 0),
+            tail_masked: Matrix::zeros(0, 0),
+            t_len: 0,
+            prev: Vec::new(),
+            current: Vec::new(),
+            j_row: Vec::new(),
+        }
+    }
     /// Number of stored reservoir-state values — the quantity Table 2
     /// counts as "simplified" storage.
     pub fn stored_state_values(&self) -> usize {
@@ -108,6 +136,27 @@ impl StreamingForward {
         model: &DfrClassifier<N>,
         series: &Matrix,
     ) -> Result<StreamingCache, CoreError> {
+        let mut cache = StreamingCache::empty();
+        self.run_into(model, series, &mut cache)?;
+        Ok(cache)
+    }
+
+    /// [`StreamingForward::run`] writing into a caller-owned cache — every
+    /// buffer (features, logits, trailing windows, rolling state scratch)
+    /// is recycled across samples, so a streaming training loop is
+    /// allocation-free after its first sample. Bitwise identical to
+    /// [`StreamingForward::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingForward::run`]; on error the cache contents are
+    /// unspecified.
+    pub fn run_into<N: Nonlinearity + Clone>(
+        &self,
+        model: &DfrClassifier<N>,
+        series: &Matrix,
+        cache: &mut StreamingCache,
+    ) -> Result<(), CoreError> {
         let reservoir = model.reservoir();
         let nx = reservoir.nodes();
         if series.cols() != reservoir.mask().channels() {
@@ -123,85 +172,95 @@ impl StreamingForward {
         let f = reservoir.nonlinearity();
         let window = self.window.min(t_len.max(1));
 
-        // DPRR accumulators (raw sums; scaled by 1/T at the end).
-        let mut products = vec![0.0; nx * nx];
-        let mut sums = vec![0.0; nx];
+        // DPRR accumulators live directly in the feature buffer (raw sums;
+        // scaled by 1/T in place at the end).
+        cache.features.resize(nx * (nx + 1), 0.0);
+        cache.features.fill(0.0);
+        let (products, sums) = cache.features.split_at_mut(nx * nx);
         // Rolling states: prev = x(k−1), current = x(k).
-        let mut prev = vec![0.0; nx];
-        let mut current = vec![0.0; nx];
-        // Ring buffers of the trailing rows for the backward pass.
-        let mut state_tail: std::collections::VecDeque<Vec<f64>> =
-            std::collections::VecDeque::with_capacity(window + 1);
-        let mut masked_tail: std::collections::VecDeque<Vec<f64>> =
-            std::collections::VecDeque::with_capacity(window);
-        state_tail.push_back(vec![0.0; nx]); // x(0) = 0, the state before the series
+        cache.prev.resize(nx, 0.0);
+        cache.prev.fill(0.0);
+        cache.current.resize(nx, 0.0);
+        cache.j_row.resize(nx, 0.0);
+        // Trailing windows as fixed-size ring buffers: `pushes % rows` is
+        // the write slot; a final in-place rotation restores chronological
+        // order. No per-step allocation, no per-step row shifting.
+        let state_rows = (t_len + 1).min(window + 1);
+        cache.tail_states.resize(state_rows, nx);
+        let masked_rows = t_len.min(window);
+        cache.tail_masked.resize(masked_rows, nx);
+        cache.tail_states.row_mut(0).fill(0.0); // x(0) = 0, before the series
+        let mut state_pushes = 1usize;
+        let mut masked_pushes = 0usize;
 
         let mut chain = 0.0; // s_{t−1} carried across rows
         for k in 0..t_len {
             // j(k) = M·u(k), computed row-wise (no T×N_x buffer).
             let u = series.row(k);
-            let mut j_row = vec![0.0; nx];
-            for (n, jn) in j_row.iter_mut().enumerate() {
+            for (n, jn) in cache.j_row.iter_mut().enumerate() {
                 *jn = dfr_linalg::dot(reservoir.mask().matrix().row(n), u);
             }
             for n in 0..nx {
-                let z = j_row[n] + prev[n];
+                let z = cache.j_row[n] + cache.prev[n];
                 let s = a * f.eval(z) + b * chain;
                 if !s.is_finite() || s.abs() > DIVERGENCE_LIMIT {
                     return Err(ReservoirError::Diverged { step: k }.into());
                 }
-                current[n] = s;
+                cache.current[n] = s;
                 chain = s;
             }
             // DPRR update: products += x(k) ⊗ x(k−1); sums += x(k).
-            for (i, &xi) in current.iter().enumerate() {
+            for (i, &xi) in cache.current.iter().enumerate() {
                 sums[i] += xi;
                 if xi != 0.0 {
                     let row = &mut products[i * nx..(i + 1) * nx];
-                    for (p, &xj) in row.iter_mut().zip(&prev) {
+                    for (p, &xj) in row.iter_mut().zip(&cache.prev) {
                         *p += xi * xj;
                     }
                 }
             }
-            // Maintain the trailing window.
-            state_tail.push_back(current.clone());
-            if state_tail.len() > window + 1 {
-                state_tail.pop_front();
+            // Maintain the trailing windows.
+            cache
+                .tail_states
+                .row_mut(state_pushes % state_rows)
+                .copy_from_slice(&cache.current);
+            state_pushes += 1;
+            if masked_rows > 0 {
+                cache
+                    .tail_masked
+                    .row_mut(masked_pushes % masked_rows)
+                    .copy_from_slice(&cache.j_row);
+                masked_pushes += 1;
             }
-            masked_tail.push_back(j_row);
-            if masked_tail.len() > window {
-                masked_tail.pop_front();
-            }
-            std::mem::swap(&mut prev, &mut current);
+            std::mem::swap(&mut cache.prev, &mut cache.current);
+        }
+        // Unroll the rings: the oldest retained row sits at `pushes % rows`
+        // once the ring has wrapped.
+        if state_pushes > state_rows {
+            let offset = state_pushes % state_rows;
+            cache.tail_states.as_mut_slice().rotate_left(offset * nx);
+        }
+        if masked_rows > 0 && masked_pushes > masked_rows {
+            let offset = masked_pushes % masked_rows;
+            cache.tail_masked.as_mut_slice().rotate_left(offset * nx);
         }
 
-        // Assemble features (scaled by 1/T) and the readout.
+        // Scale features by 1/T in place and run the readout.
         let scale = 1.0 / (t_len.max(1) as f64);
-        let mut features = Vec::with_capacity(nx * (nx + 1));
-        features.extend(products.iter().map(|p| p * scale));
-        features.extend(sums.iter().map(|s| s * scale));
-        let mut logits = model.w_out().matvec(&features)?;
-        for (l, bias) in logits.iter_mut().zip(model.bias()) {
+        for v in &mut cache.features {
+            *v *= scale;
+        }
+        cache.logits.resize(model.num_classes(), 0.0);
+        model
+            .w_out()
+            .matvec_into(&cache.features, &mut cache.logits)?;
+        for (l, bias) in cache.logits.iter_mut().zip(model.bias()) {
             *l += bias;
         }
-        let probs = softmax(&logits);
-
-        let mut tail_states = Matrix::zeros(0, 0);
-        for row in &state_tail {
-            tail_states.push_row(row)?;
-        }
-        let mut tail_masked = Matrix::zeros(0, 0);
-        for row in &masked_tail {
-            tail_masked.push_row(row)?;
-        }
-        Ok(StreamingCache {
-            features,
-            logits,
-            probs,
-            tail_states,
-            tail_masked,
-            t_len,
-        })
+        cache.probs.resize(model.num_classes(), 0.0);
+        softmax_into(&cache.logits, &mut cache.probs);
+        cache.t_len = t_len;
+        Ok(())
     }
 }
 
@@ -224,6 +283,31 @@ pub fn streaming_backprop<N: Nonlinearity + Clone>(
     cache: &StreamingCache,
     target: &[f64],
 ) -> Result<(f64, Gradients), CoreError> {
+    let mut ws = BackpropWorkspace::new();
+    let loss = streaming_backprop_into(model, cache, target, &mut ws)?;
+    Ok((loss, ws.into_gradients()))
+}
+
+/// [`streaming_backprop`] writing gradients and every intermediate into a
+/// reused [`BackpropWorkspace`] — the same workspace type the standard
+/// trainer uses, so an embedded streaming loop shares one scratch set for
+/// both passes. On success `ws.grads` holds the gradients; results are
+/// bitwise identical to [`streaming_backprop`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Linalg`] on internal shape mismatches; on error
+/// the workspace contents are unspecified.
+///
+/// # Panics
+///
+/// Panics if `target.len()` differs from the model's class count.
+pub fn streaming_backprop_into<N: Nonlinearity + Clone>(
+    model: &DfrClassifier<N>,
+    cache: &StreamingCache,
+    target: &[f64],
+    ws: &mut BackpropWorkspace,
+) -> Result<f64, CoreError> {
     assert_eq!(
         target.len(),
         model.num_classes(),
@@ -231,37 +315,41 @@ pub fn streaming_backprop<N: Nonlinearity + Clone>(
     );
     let loss = cache.loss(target);
     let nx = model.nodes();
+    let ny = model.num_classes();
+    let nr = model.feature_dim();
     let window = cache.tail_masked.rows();
-    let g = dfr_linalg::activation::softmax_cross_entropy_grad(&cache.probs, target);
-    let mut w_grad = Matrix::zeros(model.num_classes(), model.feature_dim());
-    for (c, &gc) in g.iter().enumerate() {
+    ws.g.resize(ny, 0.0);
+    softmax_cross_entropy_grad_into(&cache.probs, target, &mut ws.g);
+    ws.grads.bias.resize(ny, 0.0);
+    ws.grads.bias.copy_from_slice(&ws.g);
+    ws.grads.mask = None;
+    ws.grads.w_out.resize(ny, nr);
+    ws.grads.w_out.fill_zero();
+    for (c, &gc) in ws.g.iter().enumerate() {
         if gc == 0.0 {
             continue;
         }
-        let row = w_grad.row_mut(c);
+        let row = ws.grads.w_out.row_mut(c);
         for (w, &r) in row.iter_mut().zip(&cache.features) {
             *w = gc * r;
         }
     }
-    let mut dr = model.w_out().t_matvec(&g)?;
+    ws.dr.resize(nr, 0.0);
+    model.w_out().t_matvec_into(&ws.g, &mut ws.dr)?;
     let scale = 1.0 / (cache.t_len.max(1) as f64);
-    for d in &mut dr {
+    for d in &mut ws.dr {
         *d *= scale;
     }
+    ws.grads.a = 0.0;
+    ws.grads.b = 0.0;
     if cache.t_len == 0 || window == 0 {
-        return Ok((
-            loss,
-            Gradients {
-                a: 0.0,
-                b: 0.0,
-                w_out: w_grad,
-                bias: g,
-                mask: None,
-            },
-        ));
+        return Ok(loss);
     }
-    let dr_products = Matrix::from_vec(nx, nx, dr[..nx * nx].to_vec())?;
-    let dr_sums = &dr[nx * nx..];
+    ws.dr_products.resize(nx, nx);
+    ws.dr_products
+        .as_mut_slice()
+        .copy_from_slice(&ws.dr[..nx * nx]);
+    let dr_sums = &ws.dr[nx * nx..];
 
     let a = model.reservoir().a();
     let b = model.reservoir().b();
@@ -271,41 +359,44 @@ pub fn streaming_backprop<N: Nonlinearity + Clone>(
     // j(T − window + r + 1) in 1-based terms. Global step of tail row r:
     // k = t_len − window + r (0-based).
     let rows = window;
-    let mut bpv = Matrix::zeros(rows, nx);
+    ws.bpv.resize(rows, nx);
+    ws.bpv.fill_zero();
+    ws.term.resize(nx, 0.0);
     for r in 0..rows {
         let k = cache.t_len - window + r;
         // x(k−1) is tail_states row r (one row before x(k) at row r+1).
         let x_prev = cache.tail_states.row(r);
-        let term1 = dr_products.matvec(x_prev)?;
-        bpv.row_mut(r).copy_from_slice(&term1);
+        ws.dr_products.matvec_into(x_prev, &mut ws.term)?;
+        ws.bpv.row_mut(r).copy_from_slice(&ws.term);
         if k + 1 < cache.t_len {
             let x_next = cache.tail_states.row(r + 2);
-            let term2 = dr_products.t_matvec(x_next)?;
-            for (o, t2) in bpv.row_mut(r).iter_mut().zip(term2) {
+            ws.dr_products.t_matvec_into(x_next, &mut ws.term)?;
+            for (o, &t2) in ws.bpv.row_mut(r).iter_mut().zip(&ws.term) {
                 *o += t2;
             }
         }
-        for (o, &s) in bpv.row_mut(r).iter_mut().zip(dr_sums) {
+        for (o, &s) in ws.bpv.row_mut(r).iter_mut().zip(dr_sums) {
             *o += s;
         }
     }
-    let mut ds = Matrix::zeros(rows, nx);
+    ws.ds.resize(rows, nx);
+    ws.ds.fill_zero();
     let mut a_grad = 0.0;
     let mut b_grad = 0.0;
     for r in (0..rows).rev() {
         let k = cache.t_len - window + r;
         for n in (0..nx).rev() {
-            let mut d = bpv[(r, n)];
+            let mut d = ws.bpv[(r, n)];
             if n + 1 < nx {
-                d += b * ds[(r, n + 1)];
+                d += b * ws.ds[(r, n + 1)];
             } else if k + 1 < cache.t_len {
-                d += b * ds[(r + 1, 0)];
+                d += b * ws.ds[(r + 1, 0)];
             }
             if k + 1 < cache.t_len {
                 let z_next = cache.tail_masked[(r + 1, n)] + cache.tail_states[(r + 1, n)];
-                d += a * f.derivative(z_next) * ds[(r + 1, n)];
+                d += a * f.derivative(z_next) * ws.ds[(r + 1, n)];
             }
-            ds[(r, n)] = d;
+            ws.ds[(r, n)] = d;
             let z = cache.tail_masked[(r, n)] + cache.tail_states[(r, n)];
             a_grad += f.eval(z) * d;
             // Chain predecessor: previous node of x(k), wrapping to the last
@@ -318,16 +409,9 @@ pub fn streaming_backprop<N: Nonlinearity + Clone>(
             b_grad += chain_prev * d;
         }
     }
-    Ok((
-        loss,
-        Gradients {
-            a: a_grad,
-            b: b_grad,
-            w_out: w_grad,
-            bias: g,
-            mask: None,
-        },
-    ))
+    ws.grads.a = a_grad;
+    ws.grads.b = b_grad;
+    Ok(loss)
 }
 
 /// Convenience: the standard (history-materialising) truncated backprop for

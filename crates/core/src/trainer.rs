@@ -11,14 +11,16 @@
 //! statistics, the selected β, accuracies and wall-clock timings (the raw
 //! material of the paper's Table 1 "bp" columns).
 
-use crate::backprop::{backprop, BackpropMode, BackpropOptions};
-use crate::model::DfrClassifier;
+use crate::backprop::{backprop_into, BackpropMode, BackpropOptions};
+use crate::model::{DfrClassifier, ForwardCache};
 use crate::optimizer::{ParamBounds, Schedule, Sgd};
 use crate::readout::{fit_readout, readout_accuracy, PAPER_BETAS};
+use crate::workspace::TrainWorkspace;
 use crate::{metrics, CoreError};
 use dfr_data::Dataset;
 use dfr_linalg::Matrix;
 use dfr_reservoir::representation::{Dprr, Representation};
+use dfr_reservoir::ReservoirRun;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -222,6 +224,11 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
     let mut order: Vec<usize> = (0..ds.train().len()).collect();
     let mut epochs = Vec::with_capacity(options.epochs);
 
+    // One workspace serves the whole run: every per-sample forward cache,
+    // backprop scratch and gradient buffer is recycled across samples and
+    // epochs (allocation-free after the first sample of the longest
+    // series — see DESIGN.md §9).
+    let mut ws = TrainWorkspace::new();
     let sgd_start = Instant::now();
     for epoch in 0..options.epochs {
         let lr_res = options.reservoir_schedule.lr(epoch);
@@ -230,9 +237,9 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
         let mut loss_sum = 0.0;
         for &i in &order {
             let sample = &ds.train()[i];
-            let run = match model.reservoir().run_masked(masked[i].clone()) {
-                Ok(run) => run,
-                Err(dfr_reservoir::ReservoirError::Diverged { .. }) => {
+            match model.forward_masked_into(&masked[i], &mut ws.cache) {
+                Ok(()) => {}
+                Err(CoreError::Reservoir(dfr_reservoir::ReservoirError::Diverged { .. })) => {
                     // SGD stepped into the unstable region; pull (A, B) — and
                     // the mask, if it is being trained — back toward the
                     // initial point and skip this sample.
@@ -244,12 +251,19 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
                     }
                     continue;
                 }
-                Err(e) => return Err(e.into()),
-            };
-            let cache = model.forward_from_run(run)?;
-            let (loss, mut grads) =
-                backprop(&model, &sample.series, &cache, targets.row(i), &bp_options)?;
+                Err(e) => return Err(e),
+            }
+            let TrainWorkspace { cache, bp } = &mut ws;
+            let loss = backprop_into(
+                &model,
+                &sample.series,
+                cache,
+                targets.row(i),
+                &bp_options,
+                bp,
+            )?;
             loss_sum += loss;
+            let grads = &mut bp.grads;
             if !grads.is_finite() {
                 recover_params(&mut model, options, &initial_mask)?;
                 continue;
@@ -260,7 +274,7 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
                     grads.scale(clip / m);
                 }
             }
-            sgd.step(&mut model, &grads, lr_res, lr_out, &options.bounds)?;
+            sgd.step(&mut model, grads, lr_res, lr_out, &options.bounds)?;
             if options.train_mask {
                 if let Some(mg) = &grads.mask {
                     let mask = model.reservoir_mut().mask_mut().matrix_mut();
@@ -323,36 +337,69 @@ pub fn features_for<'a, I>(model: &DfrClassifier, series: I) -> Result<Matrix, C
 where
     I: IntoIterator<Item = &'a Matrix>,
 {
-    // Samples are independent: run every reservoir pass concurrently over
-    // the pool, then assemble rows in input order (bit-identical to the
-    // serial loop at every thread count).
-    let series: Vec<&Matrix> = series.into_iter().collect();
-    let dim = model.feature_dim();
-    let rows = dfr_pool::par_try_map_collect(&series, |_, s| -> Result<Vec<f64>, CoreError> {
-        let run = model.reservoir().run(s)?;
-        let mut row = vec![0.0; dim];
-        Dprr.features_into(run.states(), &mut row);
-        let scale = 1.0 / (run.len().max(1) as f64);
-        for f in &mut row {
-            *f *= scale;
-        }
-        Ok(row)
-    })?;
     let mut features = Matrix::zeros(0, 0);
-    for row in &rows {
-        features.push_row(row)?;
-    }
+    features_for_into(model, series, &mut features)?;
     Ok(features)
 }
 
+/// [`features_for`] writing into a caller-owned feature matrix (resized,
+/// allocation reused) — grid search evaluates thousands of `(A, B)` points
+/// against the same dataset, so the `n × N_r` output and the per-worker
+/// reservoir-run scratch are recycled across points.
+///
+/// Samples are independent: each output row is produced concurrently over
+/// the pool, with **one reservoir-run workspace per pool worker** (reused
+/// across that worker's block of samples, never shared), and rows land at
+/// their input index — bit-identical to the serial loop at every thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates reservoir failures (divergence, channel mismatch).
+pub fn features_for_into<'a, I>(
+    model: &DfrClassifier,
+    series: I,
+    out: &mut Matrix,
+) -> Result<(), CoreError>
+where
+    I: IntoIterator<Item = &'a Matrix>,
+{
+    let series: Vec<&Matrix> = series.into_iter().collect();
+    if series.is_empty() {
+        out.resize(0, 0);
+        return Ok(());
+    }
+    let dim = model.feature_dim();
+    out.resize(series.len(), dim);
+    dfr_pool::par_try_chunks_mut_with(
+        out.as_mut_slice(),
+        dim,
+        ReservoirRun::empty,
+        |i, row, run| -> Result<(), CoreError> {
+            model.reservoir().run_into(series[i], run)?;
+            Dprr.features_into(run.states(), row);
+            // Same per-sample 1/T scaling as the forward pass.
+            let scale = 1.0 / (run.len().max(1) as f64);
+            for f in row.iter_mut() {
+                *f *= scale;
+            }
+            Ok(())
+        },
+    )
+}
+
 /// Test-split accuracy of a trained model; per-sample predictions fan out
-/// over the pool.
+/// over the pool with one forward-cache workspace per worker.
 ///
 /// # Errors
 ///
 /// Propagates reservoir failures.
 pub fn evaluate(model: &DfrClassifier, ds: &Dataset) -> Result<f64, CoreError> {
-    let predictions = dfr_pool::par_try_map_collect(ds.test(), |_, s| model.predict(&s.series))?;
+    let predictions =
+        dfr_pool::par_try_map_collect_with(ds.test(), ForwardCache::empty, |_, s, cache| {
+            model.forward_into(&s.series, cache)?;
+            Ok::<usize, CoreError>(cache.prediction())
+        })?;
     let labels: Vec<usize> = ds.test().iter().map(|s| s.label).collect();
     Ok(metrics::accuracy(&predictions, &labels))
 }

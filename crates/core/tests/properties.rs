@@ -1,11 +1,14 @@
 //! Property-based tests of the backpropagation engine and its supporting
 //! machinery.
 
-use dfr_core::backprop::{backprop, BackpropMode, BackpropOptions};
+use dfr_core::backprop::{backprop, backprop_into, BackpropMode, BackpropOptions};
 use dfr_core::memory::MemoryModel;
 use dfr_core::optimizer::Schedule;
-use dfr_core::streaming::{streaming_backprop, StreamingForward};
-use dfr_core::DfrClassifier;
+use dfr_core::streaming::{
+    streaming_backprop, streaming_backprop_into, StreamingCache, StreamingForward,
+};
+use dfr_core::workspace::{BackpropWorkspace, TrainWorkspace};
+use dfr_core::{DfrClassifier, ForwardCache};
 use dfr_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -163,6 +166,117 @@ proptest! {
         let (lo, hi) = (e1.min(e2), e1.max(e2));
         prop_assert!(s.lr(hi) <= s.lr(lo) + 1e-15);
         prop_assert!(s.lr(0) == initial);
+    }
+}
+
+// Workspace-reuse bit-identity: the `_into` forms recycling caller-owned
+// buffers must equal the allocating forms bit for bit, across random
+// shapes, modes, stale buffer contents (one workspace reused for every
+// case and thread count) and pool widths 1 / 2 / 8.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `forward_into` + `backprop_into` against a reused [`TrainWorkspace`]
+    /// reproduce `forward` + `backprop` exactly.
+    #[test]
+    fn workspace_step_bit_identical_to_allocating_step(
+        a in 0.02_f64..0.35,
+        b in 0.02_f64..0.35,
+        w_scale in 0.05_f64..0.5,
+        t in 1usize..14,
+        phase in 0.0_f64..6.0,
+        class in 0usize..3,
+        window in 1usize..5,
+        full in proptest::bool::ANY,
+        mask_gradient in proptest::bool::ANY,
+    ) {
+        let m = classifier(a, b, w_scale, 4);
+        let u = input(t, phase);
+        let mut d = [0.0; 3];
+        d[class] = 1.0;
+        let options = BackpropOptions {
+            mode: if full { BackpropMode::Full } else { BackpropMode::Truncated { window } },
+            mask_gradient,
+        };
+        let cache = m.forward(&u).expect("forward");
+        let (loss, grads) = backprop(&m, &u, &cache, &d, &options).expect("backprop");
+        // One workspace shared across every thread count: buffers carry
+        // stale contents from the previous iteration by construction.
+        let mut ws = TrainWorkspace::new();
+        for threads in [1usize, 2, 8] {
+            dfr_pool::with_threads(threads, || {
+                m.forward_into(&u, &mut ws.cache).expect("forward_into");
+                let TrainWorkspace { cache: wc, bp } = &mut ws;
+                let loss_ws = backprop_into(&m, &u, wc, &d, &options, bp)
+                    .expect("backprop_into");
+                assert_eq!(wc, &cache, "cache, threads={threads}");
+                assert_eq!(loss_ws.to_bits(), loss.to_bits(), "loss, threads={threads}");
+                assert_eq!(&bp.grads, &grads, "grads, threads={threads}");
+            });
+            // The masked-drive entry point shares the same tail.
+            let masked = m.reservoir().mask().apply(&u);
+            m.forward_masked_into(&masked, &mut ws.cache).expect("masked into");
+            prop_assert_eq!(&ws.cache, &cache);
+        }
+    }
+
+    /// `StreamingForward::run_into` + `streaming_backprop_into` against
+    /// reused buffers reproduce the allocating streaming pipeline exactly.
+    #[test]
+    fn streaming_workspace_bit_identical(
+        a in 0.03_f64..0.3,
+        b in 0.03_f64..0.3,
+        t in 1usize..12,
+        window in 1usize..5,
+        class in 0usize..3,
+    ) {
+        let m = classifier(a, b, 0.3, 5);
+        let u = input(t, 0.7);
+        let mut d = [0.0; 3];
+        d[class] = 1.0;
+        let forward = StreamingForward::new(window).expect("window");
+        let cache = forward.run(&m, &u).expect("run");
+        let (loss, grads) = streaming_backprop(&m, &cache, &d).expect("bp");
+        let mut reused = StreamingCache::empty();
+        let mut bp = BackpropWorkspace::new();
+        for _ in 0..2 {
+            forward.run_into(&m, &u, &mut reused).expect("run_into");
+            prop_assert_eq!(&reused, &cache);
+            let loss_ws = streaming_backprop_into(&m, &reused, &d, &mut bp).expect("bp into");
+            prop_assert_eq!(loss_ws.to_bits(), loss.to_bits());
+            prop_assert_eq!(&bp.grads, &grads);
+        }
+    }
+
+    /// `features_for` (per-worker reservoir-run workspaces over the pool)
+    /// and `evaluate`-style forward passes are bit-identical at every
+    /// thread count, and `forward_from_run` stays consistent with them.
+    #[test]
+    fn feature_matrix_bit_identical_across_thread_counts(
+        a in 0.03_f64..0.3,
+        b in 0.03_f64..0.3,
+        n_samples in 1usize..7,
+        t in 1usize..10,
+    ) {
+        let m = classifier(a, b, 0.2, 6);
+        let series: Vec<Matrix> = (0..n_samples)
+            .map(|i| input(t, 0.37 * i as f64))
+            .collect();
+        let serial = dfr_pool::with_threads(1, || {
+            dfr_core::trainer::features_for(&m, series.iter()).expect("features")
+        });
+        for threads in [2usize, 8] {
+            let parallel = dfr_pool::with_threads(threads, || {
+                dfr_core::trainer::features_for(&m, series.iter()).expect("features")
+            });
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+        // Row i equals the forward pass's features for sample i.
+        let mut cache = ForwardCache::empty();
+        for (i, s) in series.iter().enumerate() {
+            m.forward_into(s, &mut cache).expect("forward");
+            prop_assert_eq!(serial.row(i), &cache.features[..]);
+        }
     }
 }
 

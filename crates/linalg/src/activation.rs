@@ -34,10 +34,22 @@ pub fn log_sum_exp(logits: &[f64]) -> f64 {
 /// assert!((p[0] - 0.5).abs() < 1e-12);
 /// ```
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
-    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&x| (x - m).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Softmax written into a caller-owned buffer — the allocation-free form
+/// the forward hot path uses. Bitwise identical to [`softmax`] (the same
+/// exponentials are summed in the same order).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
+    assert_eq!(logits.len(), out.len(), "softmax: length mismatch");
+    out.copy_from_slice(logits);
+    softmax_in_place(out);
 }
 
 /// Softmax computed in place, reusing the input buffer.
@@ -99,8 +111,22 @@ pub fn cross_entropy_from_logits(logits: &[f64], d: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn softmax_cross_entropy_grad(y: &[f64], d: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; y.len()];
+    softmax_cross_entropy_grad_into(y, d, &mut out);
+    out
+}
+
+/// [`softmax_cross_entropy_grad`] written into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn softmax_cross_entropy_grad_into(y: &[f64], d: &[f64], out: &mut [f64]) {
     assert_eq!(y.len(), d.len(), "grad: length mismatch");
-    y.iter().zip(d).map(|(&p, &t)| p - t).collect()
+    assert_eq!(y.len(), out.len(), "grad: length mismatch");
+    for (o, (&p, &t)) in out.iter_mut().zip(y.iter().zip(d)) {
+        *o = p - t;
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +166,20 @@ mod tests {
         for (a, b) in buf.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn into_forms_match() {
+        let logits = [0.3, -1.2, 2.5, 0.0];
+        let mut p = [0.0; 4];
+        softmax_into(&logits, &mut p);
+        for (a, b) in p.iter().zip(&softmax(&logits)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let d = [0.0, 1.0, 0.0, 0.0];
+        let mut g = [9.0; 4];
+        softmax_cross_entropy_grad_into(&p, &d, &mut g);
+        assert_eq!(g.to_vec(), softmax_cross_entropy_grad(&p, &d));
     }
 
     #[test]

@@ -44,6 +44,31 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if a pivot is not positive
     ///   (the matrix is indefinite, semidefinite or badly conditioned).
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let mut out = Cholesky::empty();
+        Cholesky::factor_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// A placeholder factorisation of dimension zero — the seed value for
+    /// [`Cholesky::factor_into`] scratch reuse. Solving with it is a shape
+    /// error for any non-empty right-hand side.
+    pub fn empty() -> Self {
+        Cholesky {
+            l: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// [`Cholesky::factor`] writing into a caller-owned factorisation,
+    /// reusing its storage — the allocation-free form the β-sweep ridge
+    /// solver refactors with.
+    ///
+    /// On error `out` is left in an unspecified (but safe) state; callers
+    /// must not solve with it until a later `factor_into` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::factor`].
+    pub fn factor_into(a: &Matrix, out: &mut Cholesky) -> Result<(), LinalgError> {
         let n = a.rows();
         if a.cols() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -55,7 +80,9 @@ impl Cholesky {
         if n == 0 {
             return Err(LinalgError::Empty { op: "cholesky" });
         }
-        let mut l = Matrix::zeros(n, n);
+        out.l.resize(n, n);
+        out.l.fill_zero();
+        let l = &mut out.l;
         for i in 0..n {
             for j in 0..=i {
                 // sum = A[i][j] - Σ_{k<j} L[i][k]·L[j][k]
@@ -73,7 +100,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -92,6 +119,18 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut y = b.to_vec();
+        self.solve_vec_in_place(&mut y)?;
+        Ok(y)
+    }
+
+    /// Solves `A x = b` in place, overwriting `b` with the solution — the
+    /// allocation-free form of [`Cholesky::solve_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -101,29 +140,46 @@ impl Cholesky {
             });
         }
         // Forward substitution: L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+                b[i] -= self.l[(i, k)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] /= self.l[(i, i)];
         }
         // Back substitution: Lᵀ x = y.
         for i in (0..n).rev() {
             for k in i + 1..n {
-                y[i] -= self.l[(k, i)] * y[k];
+                b[i] -= self.l[(k, i)] * b[k];
             }
-            y[i] /= self.l[(i, i)];
+            b[i] /= self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
-    /// Solves `A X = B` for a matrix of right-hand sides (column by column).
+    /// Solves `A X = B` for a matrix of right-hand sides.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
     pub fn solve(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.solve_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Cholesky::solve`] writing into a caller-owned output matrix
+    /// (resized to `b.shape()`, allocation reused).
+    ///
+    /// All right-hand-side columns are substituted together, row-wise:
+    /// per element the subtraction order over `k` is identical to the
+    /// column-by-column [`Cholesky::solve_vec`] loop, so results are
+    /// bitwise unchanged while the traversal becomes cache-friendly and
+    /// scratch-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_into(&self, b: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -132,20 +188,39 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        // One scratch column reused across right-hand sides (`col_iter`
-        // avoids a per-column allocation).
-        let mut col = vec![0.0; n];
-        for j in 0..b.cols() {
-            for (c, v) in col.iter_mut().zip(b.col_iter(j)) {
-                *c = v;
+        out.copy_from(b);
+        let q = out.cols();
+        // Forward substitution on whole rows: y_i -= L[i][k] · y_k (k < i).
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                let (done, rest) = out.as_mut_slice().split_at_mut(i * q);
+                let yk = &done[k * q..(k + 1) * q];
+                for (yi, &v) in rest[..q].iter_mut().zip(yk) {
+                    *yi -= lik * v;
+                }
             }
-            let x = self.solve_vec(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+            let lii = self.l[(i, i)];
+            for yi in out.row_mut(i) {
+                *yi /= lii;
             }
         }
-        Ok(out)
+        // Back substitution: x_i -= L[k][i] · x_k (k > i).
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                let lki = self.l[(k, i)];
+                let (head, tail) = out.as_mut_slice().split_at_mut(k * q);
+                let xk = &tail[..q];
+                for (xi, &v) in head[i * q..(i + 1) * q].iter_mut().zip(xk) {
+                    *xi -= lki * v;
+                }
+            }
+            let lii = self.l[(i, i)];
+            for xi in out.row_mut(i) {
+                *xi /= lii;
+            }
+        }
+        Ok(())
     }
 
     /// Log-determinant of the original matrix, `log det A = 2 Σ log L[i][i]`.
@@ -254,6 +329,32 @@ mod tests {
         let c = Cholesky::factor(&spd3()).unwrap();
         assert!(c.solve_vec(&[1.0]).is_err());
         assert!(c.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let a = spd3();
+        let fresh = Cholesky::factor(&a).unwrap();
+        // A stale scratch factorisation of the wrong size is fully reused.
+        let mut scratch =
+            Cholesky::factor(&Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap()).unwrap();
+        Cholesky::factor_into(&a, &mut scratch).unwrap();
+        assert_eq!(scratch, fresh);
+
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-2.0, 0.0], &[0.5, 3.0]]).unwrap();
+        let alloc = fresh.solve(&b).unwrap();
+        let mut out = Matrix::filled(1, 1, 9.0);
+        fresh.solve_into(&b, &mut out).unwrap();
+        assert_eq!(out, alloc);
+        // Column-wise agreement with solve_vec, bit for bit.
+        for j in 0..b.cols() {
+            let mut col: Vec<f64> = b.col_iter(j).collect();
+            fresh.solve_vec_in_place(&mut col).unwrap();
+            for (i, &v) in col.iter().enumerate() {
+                assert_eq!(v.to_bits(), alloc[(i, j)].to_bits());
+            }
+        }
+        assert!(Cholesky::empty().solve_vec(&[1.0]).is_err());
     }
 
     #[test]

@@ -240,6 +240,19 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output matrix, which
+    /// is resized to `self.rows() x rhs.cols()` (reusing its allocation) and
+    /// overwritten. Same kernel, same banding, bitwise-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -247,9 +260,10 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize(self.rows, rhs.cols);
+        out.fill_zero();
         if self.rows == 0 || rhs.cols == 0 {
-            return Ok(out);
+            return Ok(());
         }
         let chunk = band_chunk_len(self.rows, rhs.cols, self.rows * self.cols * rhs.cols);
         let band_rows = chunk / rhs.cols;
@@ -258,7 +272,7 @@ impl Matrix {
             let lhs_band = &self.data[band * band_rows * self.cols..][..rows_here * self.cols];
             matmul_band(out_band, lhs_band, self.cols, rhs);
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Product of `selfᵀ` with `rhs` without materialising the transpose.
@@ -271,6 +285,18 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::t_matmul`] writing into a caller-owned output matrix
+    /// (resized to `self.cols() x rhs.cols()`, allocation reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matmul",
@@ -278,16 +304,17 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.resize(self.cols, rhs.cols);
+        out.fill_zero();
         if self.cols == 0 || rhs.cols == 0 {
-            return Ok(out);
+            return Ok(());
         }
         let chunk = band_chunk_len(self.cols, rhs.cols, self.rows * self.cols * rhs.cols);
         let band_rows = chunk / rhs.cols;
         dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
             t_matmul_band(out_band, band * band_rows, self, rhs);
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Product of `self` with `rhsᵀ` without materialising the transpose.
@@ -299,6 +326,18 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_t`] writing into a caller-owned output matrix
+    /// (resized to `self.rows() x rhs.rows()`, allocation reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_t",
@@ -306,9 +345,10 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.resize(self.rows, rhs.rows);
+        out.fill_zero();
         if self.rows == 0 || rhs.rows == 0 {
-            return Ok(out);
+            return Ok(());
         }
         let chunk = band_chunk_len(self.rows, rhs.rows, self.rows * self.cols * rhs.rows);
         let band_rows = chunk / rhs.rows;
@@ -321,7 +361,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// The Gram matrix `self · selfᵀ` (`n x n` for an `n x p` matrix) —
@@ -333,10 +373,20 @@ impl Matrix {
     /// is symmetric in floating point. Entries are bitwise equal to
     /// `self.matmul_t(self)` at every thread count.
     pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.gram_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::gram`] writing into a caller-owned output matrix (resized
+    /// to `n x n`, allocation reused). Same triangular banding, bitwise
+    /// identical at every thread count.
+    pub fn gram_into(&self, out: &mut Matrix) {
         let n = self.rows;
-        let mut out = Matrix::zeros(n, n);
+        out.resize(n, n);
+        out.fill_zero();
         if n == 0 {
-            return out;
+            return;
         }
         let madds = n * n * self.cols / 2;
         par_triangle_bands(out.data.as_mut_slice(), n, madds, |i0, band| {
@@ -348,8 +398,7 @@ impl Matrix {
                 }
             }
         });
-        mirror_lower_to_upper(&mut out);
-        out
+        mirror_lower_to_upper(out);
     }
 
     /// The Gram matrix `selfᵀ · self` (`p x p` for an `n x p` matrix) —
@@ -360,10 +409,19 @@ impl Matrix {
     /// entries are bitwise equal to `self.t_matmul(self)` at every thread
     /// count.
     pub fn gram_t(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.gram_t_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::gram_t`] writing into a caller-owned output matrix (resized
+    /// to `p x p`, allocation reused).
+    pub fn gram_t_into(&self, out: &mut Matrix) {
         let p = self.cols;
-        let mut out = Matrix::zeros(p, p);
+        out.resize(p, p);
+        out.fill_zero();
         if p == 0 {
-            return out;
+            return;
         }
         let madds = p * p * self.rows / 2;
         par_triangle_bands(out.data.as_mut_slice(), p, madds, |i0, band| {
@@ -381,8 +439,7 @@ impl Matrix {
                 }
             }
         });
-        mirror_lower_to_upper(&mut out);
-        out
+        mirror_lower_to_upper(out);
     }
 
     /// Matrix-vector product `self * v`.
@@ -391,14 +448,30 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if self.cols != v.len() {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matvec`] writing into a caller-owned slice of length
+    /// `self.rows()` — the allocation-free form hot loops use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if self.cols != v.len() || out.len() != self.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
                 lhs: self.shape(),
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows).map(|i| dot(self.row(i), v)).collect())
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), v);
+        }
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`.
@@ -407,14 +480,27 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != v.len()`.
     pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if self.rows != v.len() {
+        let mut out = vec![0.0; self.cols];
+        self.t_matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::t_matvec`] writing into a caller-owned slice of length
+    /// `self.cols()` — the allocation-free form hot loops use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != v.len()`
+    /// or `out.len() != self.cols()`.
+    pub fn t_matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if self.rows != v.len() || out.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matvec",
                 lhs: self.shape(),
                 rhs: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.cols];
+        out.fill(0.0);
         for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
@@ -423,7 +509,7 @@ impl Matrix {
                 *o += vi * m;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Adds `alpha * rhs` to `self` in place.
@@ -474,6 +560,25 @@ impl Matrix {
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+
+    /// Reshapes the matrix to `rows x cols`, reusing the existing
+    /// allocation whenever it is large enough (the workhorse of the
+    /// workspace-buffer convention — see `DESIGN.md` §9). Contents after a
+    /// resize are unspecified; callers overwrite or [`Matrix::fill_zero`].
+    ///
+    /// Allocation-free once the buffer has grown to its high-water mark.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation
+    /// whenever it is large enough.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Appends a row to the bottom of the matrix.
@@ -915,6 +1020,46 @@ mod tests {
             });
             assert_eq!(parallel, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn resize_reuses_and_copy_from_copies() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        let src = sample();
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        // Growing works too.
+        m.resize(5, 5);
+        assert_eq!(m.shape(), (5, 5));
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap(); // 3x2
+        let mut out = Matrix::filled(7, 7, 9.0); // stale shape + contents
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.t_matmul_into(&a, &mut out).unwrap();
+        assert_eq!(out, a.t_matmul(&a).unwrap());
+        a.matmul_t_into(&a, &mut out).unwrap();
+        assert_eq!(out, a.matmul_t(&a).unwrap());
+        a.gram_into(&mut out);
+        assert_eq!(out, a.gram());
+        a.gram_t_into(&mut out);
+        assert_eq!(out, a.gram_t());
+
+        let mut v2 = vec![1.0; 2];
+        a.matvec_into(&[1.0, 0.0, 1.0], &mut v2).unwrap();
+        assert_eq!(v2, a.matvec(&[1.0, 0.0, 1.0]).unwrap());
+        let mut v3 = vec![1.0; 3];
+        a.t_matvec_into(&[1.0, 1.0], &mut v3).unwrap();
+        assert_eq!(v3, a.t_matvec(&[1.0, 1.0]).unwrap());
+        // Wrong output lengths are shape errors, not panics.
+        assert!(a.matvec_into(&[1.0, 0.0, 1.0], &mut v3).is_err());
+        assert!(a.t_matvec_into(&[1.0, 1.0], &mut v2).is_err());
     }
 
     #[test]

@@ -64,37 +64,142 @@ pub fn ridge_fit_with(
     beta: f64,
     mode: RidgeMode,
 ) -> Result<Matrix, LinalgError> {
-    if x.rows() != y.rows() {
-        return Err(LinalgError::ShapeMismatch {
-            op: "ridge_fit",
-            lhs: x.shape(),
-            rhs: y.shape(),
-        });
+    RidgePlan::with_mode(x, y, mode)?.solve(beta)
+}
+
+/// A prepared ridge system for sweeping several β candidates over the same
+/// `(X, Y)` pair — the readout's β selection (paper §4) tries 4 values.
+///
+/// The dominant cost of one ridge fit is the `O(n²p)` Gram matrix (`XᵀX` or
+/// `XXᵀ`) plus, in the primal form, the `O(npq)` `XᵀY`. Both depend only on
+/// the data, not on β, so the plan computes them **once** at construction;
+/// [`RidgePlan::solve`] then copies the pristine Gram into a reused scratch
+/// system, adds `βI` to the diagonal, refactors and substitutes — `O(n³/3)`
+/// per candidate instead of `O(n²p + n³/3)`. Every intermediate lives in a
+/// workspace buffer, so a sweep allocates nothing after the first solve.
+///
+/// Per β, results are bitwise identical to a standalone [`ridge_fit_with`]
+/// call at every thread count (the same Gram/factor/substitution kernels
+/// run on the same values).
+///
+/// # Example
+///
+/// ```
+/// use dfr_linalg::{Matrix, ridge::{ridge_fit, RidgePlan}};
+///
+/// # fn main() -> Result<(), dfr_linalg::LinalgError> {
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let y = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]])?;
+/// let mut plan = RidgePlan::new(&x, &y)?;
+/// for beta in [1e-6, 1e-2, 1.0] {
+///     assert_eq!(plan.solve(beta)?, ridge_fit(&x, &y, beta)?);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RidgePlan<'a> {
+    x: &'a Matrix,
+    y: &'a Matrix,
+    use_primal: bool,
+    /// Pristine Gram matrix (no `βI`): `XᵀX` (primal) or `XXᵀ` (dual).
+    gram: Matrix,
+    /// Primal right-hand side `XᵀY`, computed once; unused in dual form.
+    rhs: Matrix,
+    /// Scratch system `gram + βI`, rebuilt per solve.
+    sys: Matrix,
+    /// Scratch factorisation, refactored per solve.
+    chol: Cholesky,
+    /// Dual scratch `(XXᵀ + βI)⁻¹ Y`.
+    alpha: Matrix,
+}
+
+impl<'a> RidgePlan<'a> {
+    /// Prepares a plan with the formulation chosen by shape
+    /// ([`RidgeMode::Auto`]).
+    ///
+    /// # Errors
+    ///
+    /// Same shape/emptiness errors as [`ridge_fit`].
+    pub fn new(x: &'a Matrix, y: &'a Matrix) -> Result<Self, LinalgError> {
+        RidgePlan::with_mode(x, y, RidgeMode::Auto)
     }
-    if x.rows() == 0 || x.cols() == 0 {
-        return Err(LinalgError::Empty { op: "ridge_fit" });
+
+    /// Prepares a plan with an explicit [`RidgeMode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RidgePlan::new`].
+    pub fn with_mode(x: &'a Matrix, y: &'a Matrix, mode: RidgeMode) -> Result<Self, LinalgError> {
+        if x.rows() != y.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ridge_fit",
+                lhs: x.shape(),
+                rhs: y.shape(),
+            });
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(LinalgError::Empty { op: "ridge_fit" });
+        }
+        let use_primal = match mode {
+            RidgeMode::Primal => true,
+            RidgeMode::Dual => false,
+            RidgeMode::Auto => x.cols() <= x.rows(),
+        };
+        let (gram, rhs) = if use_primal {
+            // (XᵀX + βI) W = Xᵀ Y — the parallel Gram kernel builds XᵀX.
+            (x.gram_t(), x.t_matmul(y)?)
+        } else {
+            // W = Xᵀ (XXᵀ + βI)⁻¹ Y — the parallel Gram kernel builds XXᵀ.
+            (x.gram(), Matrix::zeros(0, 0))
+        };
+        Ok(RidgePlan {
+            x,
+            y,
+            use_primal,
+            gram,
+            rhs,
+            sys: Matrix::zeros(0, 0),
+            chol: Cholesky::empty(),
+            alpha: Matrix::zeros(0, 0),
+        })
     }
-    let use_primal = match mode {
-        RidgeMode::Primal => true,
-        RidgeMode::Dual => false,
-        RidgeMode::Auto => x.cols() <= x.rows(),
-    };
-    if use_primal {
-        // (XᵀX + βI) W = Xᵀ Y — the parallel Gram kernel builds XᵀX.
-        let mut gram = x.gram_t();
-        for i in 0..gram.rows() {
-            gram[(i, i)] += beta;
+
+    /// Whether the plan solves the primal (`p x p`) system.
+    pub fn is_primal(&self) -> bool {
+        self.use_primal
+    }
+
+    /// Solves for one β, allocating the returned weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if `β <= 0` makes the system
+    /// singular.
+    pub fn solve(&mut self, beta: f64) -> Result<Matrix, LinalgError> {
+        let mut w = Matrix::zeros(0, 0);
+        self.solve_into(beta, &mut w)?;
+        Ok(w)
+    }
+
+    /// Solves for one β into a caller-owned `p x q` weight matrix — the
+    /// allocation-free sweep step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RidgePlan::solve`].
+    pub fn solve_into(&mut self, beta: f64, w: &mut Matrix) -> Result<(), LinalgError> {
+        self.sys.copy_from(&self.gram);
+        for i in 0..self.sys.rows() {
+            self.sys[(i, i)] += beta;
         }
-        let rhs = x.t_matmul(y)?;
-        Cholesky::factor(&gram)?.solve(&rhs)
-    } else {
-        // W = Xᵀ (XXᵀ + βI)⁻¹ Y — the parallel Gram kernel builds XXᵀ.
-        let mut gram = x.gram();
-        for i in 0..gram.rows() {
-            gram[(i, i)] += beta;
+        Cholesky::factor_into(&self.sys, &mut self.chol)?;
+        if self.use_primal {
+            self.chol.solve_into(&self.rhs, w)
+        } else {
+            self.chol.solve_into(self.y, &mut self.alpha)?;
+            self.x.t_matmul_into(&self.alpha, w)
         }
-        let alpha = Cholesky::factor(&gram)?.solve(y)?;
-        x.t_matmul(&alpha)
     }
 }
 
@@ -114,14 +219,8 @@ pub fn ridge_fit_intercept(
     y: &Matrix,
     beta: f64,
 ) -> Result<(Matrix, Vec<f64>), LinalgError> {
-    let n = x.rows();
     let p = x.cols();
-    let mut aug = Matrix::zeros(n, p + 1);
-    for i in 0..n {
-        let row = aug.row_mut(i);
-        row[..p].copy_from_slice(x.row(i));
-        row[p] = 1.0;
-    }
+    let aug = augment_ones(x);
     let w_aug = ridge_fit(&aug, y, beta)?;
     let q = w_aug.cols();
     let mut w = Matrix::zeros(p, q);
@@ -130,6 +229,22 @@ pub fn ridge_fit_intercept(
     }
     let b = w_aug.row(p).to_vec();
     Ok((w, b))
+}
+
+/// Appends a trailing constant-1 feature column to `x` — the augmented
+/// representation `x' = [x, 1]` behind [`ridge_fit_intercept`]. Exposed so
+/// β-sweep callers can build the augmented matrix once and reuse it with a
+/// [`RidgePlan`].
+pub fn augment_ones(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let p = x.cols();
+    let mut aug = Matrix::zeros(n, p + 1);
+    for i in 0..n {
+        let row = aug.row_mut(i);
+        row[..p].copy_from_slice(x.row(i));
+        row[p] = 1.0;
+    }
+    aug
 }
 
 /// Mean squared error between predictions `X W` and targets `Y`,
@@ -239,6 +354,47 @@ mod tests {
         let (x, y) = toy();
         let w = ridge_fit(&x, &y, 1e-12).unwrap();
         assert!(mse(&x, &w, &y).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn plan_sweep_is_bitwise_identical_to_per_beta_fits() {
+        let (x, y) = toy();
+        for mode in [RidgeMode::Primal, RidgeMode::Dual, RidgeMode::Auto] {
+            let mut plan = RidgePlan::with_mode(&x, &y, mode).unwrap();
+            let mut w = Matrix::zeros(0, 0);
+            for beta in [1e-6, 1e-4, 1e-2, 1.0] {
+                plan.solve_into(beta, &mut w).unwrap();
+                let standalone = ridge_fit_with(&x, &y, beta, mode).unwrap();
+                assert_eq!(w.shape(), standalone.shape());
+                for (a, b) in w.as_slice().iter().zip(standalone.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?} beta {beta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_validates_like_ridge_fit() {
+        assert!(RidgePlan::new(&Matrix::zeros(3, 2), &Matrix::zeros(4, 1)).is_err());
+        assert!(RidgePlan::new(&Matrix::zeros(0, 0), &Matrix::zeros(0, 1)).is_err());
+        // Singular system (β = 0 on rank-deficient data) errors per solve,
+        // leaving the plan usable for the next candidate.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let y = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let mut plan = RidgePlan::new(&x, &y).unwrap();
+        assert!(plan.solve(0.0).is_err());
+        assert!(plan.solve(1e-2).is_ok());
+    }
+
+    #[test]
+    fn augment_ones_appends_constant_column() {
+        let (x, _) = toy();
+        let aug = augment_ones(&x);
+        assert_eq!(aug.shape(), (x.rows(), x.cols() + 1));
+        for i in 0..x.rows() {
+            assert_eq!(&aug.row(i)[..x.cols()], x.row(i));
+            assert_eq!(aug.row(i)[x.cols()], 1.0);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use dfr_linalg::activation::{cross_entropy_from_logits, log_sum_exp, softmax};
 use dfr_linalg::cholesky::Cholesky;
-use dfr_linalg::ridge::{ridge_fit_with, RidgeMode};
+use dfr_linalg::ridge::{ridge_fit_with, RidgeMode, RidgePlan};
 use dfr_linalg::{dot, Matrix};
 use proptest::prelude::*;
 
@@ -87,6 +87,33 @@ proptest! {
         let wd = ridge_fit_with(&x, &y, beta, RidgeMode::Dual).unwrap();
         for (a, b) in wp.as_slice().iter().zip(wd.as_slice()) {
             prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// The single-Gram β-sweep plan reproduces standalone per-β fits bit
+    /// for bit — in both formulations, with stale reused output buffers,
+    /// at pool widths 1 / 2 / 8.
+    #[test]
+    fn ridge_plan_bit_identical_to_per_beta_fits(
+        x in matrix(7, 5), y in matrix(7, 2),
+        b1 in 1e-6_f64..10.0, b2 in 1e-6_f64..10.0,
+    ) {
+        for mode in [RidgeMode::Primal, RidgeMode::Dual, RidgeMode::Auto] {
+            let mut w = Matrix::zeros(3, 3); // stale shape on purpose
+            for threads in [1usize, 2, 8] {
+                dfr_pool::with_threads(threads, || {
+                    let mut plan = RidgePlan::with_mode(&x, &y, mode).unwrap();
+                    for &beta in &[b1, b2] {
+                        plan.solve_into(beta, &mut w).unwrap();
+                        let standalone = ridge_fit_with(&x, &y, beta, mode).unwrap();
+                        assert_eq!(w.shape(), standalone.shape());
+                        for (a, b) in w.as_slice().iter().zip(standalone.as_slice()) {
+                            assert_eq!(a.to_bits(), b.to_bits(),
+                                "mode {mode:?} beta {beta} threads {threads}");
+                        }
+                    }
+                });
+            }
         }
     }
 

@@ -57,7 +57,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-wide thread-count override; 0 means "not set".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -199,9 +199,50 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_collect_with(items, || (), |i, t, ()| f(i, t))
+}
+
+/// [`par_map_collect`] with **per-worker scratch state**: `init` runs once
+/// on each worker (once total when the region is serial) and the resulting
+/// workspace is handed `&mut` to every `f` call that worker executes.
+///
+/// This is the pool's half of the workspace-buffer convention (`DESIGN.md`
+/// §9): expensive scratch — reservoir-state buffers, gradient matrices — is
+/// built once per worker and reused across that worker's contiguous block
+/// of items, never shared between workers. The item→worker assignment is
+/// the same contiguous-block split as [`par_map_collect`], so adding
+/// scratch cannot change results of a conforming kernel (one whose output
+/// does not depend on scratch history).
+///
+/// # Example
+///
+/// ```
+/// let out = dfr_pool::par_map_collect_with(
+///     &[1u64, 2, 3],
+///     Vec::new,
+///     |_, &x, scratch: &mut Vec<u64>| {
+///         scratch.clear(); // reused buffer, warm after the first item
+///         scratch.push(x);
+///         scratch[0] * 10
+///     },
+/// );
+/// assert_eq!(out, vec![10, 20, 30]);
+/// ```
+pub fn par_map_collect_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
+{
     let threads = fan_out(items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut ws = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t, &mut ws))
+            .collect();
     }
     let block = items.len().div_ceil(threads);
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -210,11 +251,13 @@ where
             items.chunks(block).zip(slots.chunks_mut(block)).enumerate()
         {
             let f = &f;
+            let init = &init;
             s.spawn(move || {
                 enter_worker();
+                let mut ws = init();
                 let base = b * block;
                 for (k, (item, slot)) in in_block.iter().zip(out_block.iter_mut()).enumerate() {
-                    *slot = Some(f(base + k, item));
+                    *slot = Some(f(base + k, item, &mut ws));
                 }
             });
         }
@@ -255,6 +298,23 @@ where
     par_map_collect(items, f).into_iter().collect()
 }
 
+/// Fallible [`par_map_collect_with`]: per-worker scratch plus the
+/// lowest-failing-index error contract of [`par_try_map_collect`].
+///
+/// # Errors
+///
+/// The error produced by `f` at the lowest failing index.
+pub fn par_try_map_collect_with<T, R, E, S, I, F>(items: &[T], init: I, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> Result<R, E> + Sync,
+{
+    par_map_collect_with(items, init, f).into_iter().collect()
+}
+
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the last
 /// may be shorter) and applies `f(chunk_index, chunk)` to each, fanning the
 /// chunks out over contiguous per-worker blocks.
@@ -271,6 +331,23 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_with(data, chunk_len, || (), |i, chunk, ()| f(i, chunk));
+}
+
+/// [`par_chunks_mut`] with per-worker scratch state (see
+/// [`par_map_collect_with`] for the workspace convention): `init` runs once
+/// per worker and its result is handed `&mut` to every chunk that worker
+/// writes.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` and `data` is non-empty.
+pub fn par_chunks_mut_with<T, S, I, F>(data: &mut [T], chunk_len: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
     if data.is_empty() {
         return;
     }
@@ -281,8 +358,9 @@ where
     let chunks = data.len().div_ceil(chunk_len);
     let threads = fan_out(chunks);
     if threads <= 1 {
+        let mut ws = init();
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(i, chunk);
+            f(i, chunk, &mut ws);
         }
         return;
     }
@@ -290,14 +368,58 @@ where
     scope(|s| {
         for (b, block) in data.chunks_mut(per_worker * chunk_len).enumerate() {
             let f = &f;
+            let init = &init;
             s.spawn(move || {
                 enter_worker();
+                let mut ws = init();
                 for (k, chunk) in block.chunks_mut(chunk_len).enumerate() {
-                    f(b * per_worker + k, chunk);
+                    f(b * per_worker + k, chunk, &mut ws);
                 }
             });
         }
     });
+}
+
+/// Fallible [`par_chunks_mut_with`]: every chunk is processed (errors are
+/// rare and terminal on these paths), then the error of the **lowest chunk
+/// index** that failed is reported — the same deterministic-failure
+/// contract as [`par_try_map_collect`]. Chunks whose kernel failed hold
+/// whatever the kernel wrote before failing.
+///
+/// # Errors
+///
+/// The error produced by `f` at the lowest failing chunk index.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` and `data` is non-empty.
+pub fn par_try_chunks_mut_with<T, E, S, I, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    init: I,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) -> Result<(), E> + Sync,
+{
+    let failures: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    par_chunks_mut_with(data, chunk_len, &init, |i, chunk, ws| {
+        if let Err(e) = f(i, chunk, ws) {
+            failures
+                .lock()
+                .expect("failure registry poisoned")
+                .push((i, e));
+        }
+    });
+    let mut failures = failures.into_inner().expect("failure registry poisoned");
+    failures.sort_by_key(|(i, _)| *i);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Splits `data` into consecutive parts of caller-specified (possibly
@@ -467,6 +589,111 @@ mod tests {
     fn parts_mut_rejects_wrong_total() {
         let mut data = vec![0u32; 3];
         par_parts_mut(&mut data, &[1, 1], |_, _| {});
+    }
+
+    #[test]
+    fn map_with_initialises_once_per_worker() {
+        let inits = AtomicU32::new(0);
+        for threads in [1usize, 3, 8] {
+            inits.store(0, Ordering::Relaxed);
+            let items: Vec<usize> = (0..24).collect();
+            let out = with_threads(threads, || {
+                par_map_collect_with(
+                    &items,
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        0usize
+                    },
+                    |i, &x, seen| {
+                        *seen += 1;
+                        (i, x, *seen)
+                    },
+                )
+            });
+            // One workspace per worker, reused across that worker's block.
+            assert_eq!(inits.load(Ordering::Relaxed) as usize, threads.min(24));
+            for (slot, (i, x, seen)) in out.iter().enumerate() {
+                assert_eq!(slot, *i);
+                assert_eq!(slot, *x);
+                // `seen` counts position within the worker's block.
+                assert!(*seen >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_with_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 4] {
+            let r: Result<Vec<usize>, usize> = with_threads(threads, || {
+                par_try_map_collect_with(
+                    &items,
+                    || (),
+                    |i, _, _| if i % 9 == 5 { Err(i) } else { Ok(i) },
+                )
+            });
+            assert_eq!(r.unwrap_err(), 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_with_reuses_worker_state() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u32; 60];
+            with_threads(threads, || {
+                par_chunks_mut_with(
+                    &mut data,
+                    10,
+                    || 0u32,
+                    |ci, chunk, count| {
+                        *count += 1;
+                        for v in chunk.iter_mut() {
+                            *v = ci as u32 + 1;
+                        }
+                    },
+                );
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, (i / 10) as u32 + 1, "threads={threads} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_chunks_mut_with_reports_lowest_chunk_error() {
+        for threads in [1, 4] {
+            let mut data = vec![0u32; 55];
+            let r: Result<(), usize> = with_threads(threads, || {
+                par_try_chunks_mut_with(
+                    &mut data,
+                    10,
+                    || (),
+                    |ci, chunk, _| {
+                        if ci % 2 == 1 {
+                            return Err(ci);
+                        }
+                        chunk.fill(7);
+                        Ok(())
+                    },
+                )
+            });
+            assert_eq!(r.unwrap_err(), 1, "threads={threads}");
+            // Successful chunks were still written; failed ones were not.
+            assert_eq!(data[0], 7);
+            assert_eq!(data[15], 0);
+        }
+        let mut ok = vec![0u32; 4];
+        let r: Result<(), ()> = par_try_chunks_mut_with(
+            &mut ok,
+            2,
+            || (),
+            |_, c, _| {
+                c.fill(1);
+                Ok(())
+            },
+        );
+        assert!(r.is_ok());
+        assert!(ok.iter().all(|&v| v == 1));
     }
 
     #[test]

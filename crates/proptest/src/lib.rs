@@ -146,6 +146,40 @@ macro_rules! sint_strategy_impls {
 
 sint_strategy_impls!(i64 => u64, i32 => u32);
 
+/// Strategies over `bool` (the `proptest::bool` module subset).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The uniform boolean strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            // uniform_u64 samples the half-open [lo, hi).
+            rng.uniform_u64(0, 2) == 1
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn any_produces_both_values() {
+            let mut rng = TestRng::deterministic("bool-any");
+            let draws: Vec<bool> = (0..64).map(|_| ANY.sample(&mut rng)).collect();
+            assert!(draws.iter().any(|&b| b), "no true in 64 draws");
+            assert!(draws.iter().any(|&b| !b), "no false in 64 draws");
+        }
+    }
+}
+
 /// Strategies over collections.
 pub mod collection {
     use super::{Strategy, TestRng};

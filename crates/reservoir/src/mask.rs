@@ -88,6 +88,21 @@ impl Mask {
     /// validate this and return [`crate::ReservoirError::ChannelMismatch`]
     /// first.
     pub fn apply(&self, series: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.apply_into(series, &mut out);
+        out
+    }
+
+    /// [`Mask::apply`] writing into a caller-owned matrix (resized to
+    /// `T x N_x`, allocation reused) — the allocation-free form the
+    /// reservoir's `run_into` path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series.cols() != self.channels()`; the reservoir wrappers
+    /// validate this and return [`crate::ReservoirError::ChannelMismatch`]
+    /// first.
+    pub fn apply_into(&self, series: &Matrix, out: &mut Matrix) {
         assert_eq!(
             series.cols(),
             self.channels(),
@@ -98,7 +113,7 @@ impl Mask {
         // j = U · Mᵀ, computed row by row.
         let t = series.rows();
         let nx = self.nodes();
-        let mut out = Matrix::zeros(t, nx);
+        out.resize(t, nx);
         for k in 0..t {
             let u = series.row(k);
             let row = out.row_mut(k);
@@ -106,7 +121,6 @@ impl Mask {
                 *slot = dfr_linalg::dot(self.matrix.row(n), u);
             }
         }
-        out
     }
 }
 

@@ -183,14 +183,32 @@ impl<N: Nonlinearity> ModularDfr<N> {
     ///   the mask's channel count.
     /// * [`ReservoirError::Diverged`] if any state becomes non-finite.
     pub fn run(&self, series: &Matrix) -> Result<ReservoirRun, ReservoirError> {
+        let mut run = ReservoirRun::empty();
+        self.run_into(series, &mut run)?;
+        Ok(run)
+    }
+
+    /// [`ModularDfr::run`] writing into a caller-owned [`ReservoirRun`],
+    /// reusing its masked-drive and state storage — forward passes recycle
+    /// the same buffers across samples and epochs (allocation-free once the
+    /// buffers reach the longest series in the workload).
+    ///
+    /// On error the run's contents are unspecified; reuse it only after a
+    /// later `run_into` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModularDfr::run`].
+    pub fn run_into(&self, series: &Matrix, run: &mut ReservoirRun) -> Result<(), ReservoirError> {
         if series.cols() != self.mask.channels() {
             return Err(ReservoirError::ChannelMismatch {
                 mask_channels: self.mask.channels(),
                 input_channels: series.cols(),
             });
         }
-        let masked = self.mask.apply(series);
-        self.run_masked(masked)
+        self.mask.apply_into(series, &mut run.masked);
+        run.states.resize(run.masked.rows(), self.nodes());
+        self.drive(&run.masked, &mut run.states)
     }
 
     /// Runs the reservoir on an already-masked `T × N_x` drive.
@@ -210,25 +228,66 @@ impl<N: Nonlinearity> ModularDfr<N> {
                 input_channels: masked.cols(),
             });
         }
+        let mut states = Matrix::zeros(masked.rows(), nx);
+        self.drive(&masked, &mut states)?;
+        Ok(ReservoirRun { masked, states })
+    }
+
+    /// [`ModularDfr::run_masked`] borrowing the masked drive and writing
+    /// into a caller-owned [`ReservoirRun`] (the drive is copied into the
+    /// run's reused buffer, since backpropagation reads it later). This is
+    /// the trainer's per-sample fast path: the epoch-invariant masked
+    /// inputs stay cached and every forward pass recycles one run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModularDfr::run_masked`]; on error the run's contents are
+    /// unspecified.
+    pub fn run_masked_into(
+        &self,
+        masked: &Matrix,
+        run: &mut ReservoirRun,
+    ) -> Result<(), ReservoirError> {
+        let nx = self.nodes();
+        if masked.cols() != nx {
+            return Err(ReservoirError::ChannelMismatch {
+                mask_channels: nx,
+                input_channels: masked.cols(),
+            });
+        }
+        run.masked.copy_from(masked);
+        run.states.resize(masked.rows(), nx);
+        self.drive(&run.masked, &mut run.states)
+    }
+
+    /// The flattened recurrence `s_t = A·f(j_t + s_{t-Nx}) + B·s_{t-1}`
+    /// (row `k` of `states` is `x(k+1)` in the paper's 1-based notation),
+    /// written over whatever `states` holds. Shared by every entry point so
+    /// the owning and buffer-reusing forms are bitwise identical.
+    fn drive(&self, masked: &Matrix, states: &mut Matrix) -> Result<(), ReservoirError> {
+        let nx = self.nodes();
         let t_len = masked.rows();
-        let mut states = Matrix::zeros(t_len, nx);
-        // Flattened recurrence: s_t = A·f(j_t + s_{t-Nx}) + B·s_{t-1}.
-        // Row k of `states` is x(k+1) in the paper's 1-based notation.
+        debug_assert_eq!(states.shape(), (t_len, nx));
         let mut prev_chain = 0.0; // s_{t-1}, carried across rows
         for k in 0..t_len {
+            let j_row = masked.row(k);
+            // Split off row k so the delayed row k−1 stays borrowable.
+            let (head, tail) = states.as_mut_slice().split_at_mut(k * nx);
+            let row = &mut tail[..nx];
+            let delayed = &head[head.len().saturating_sub(nx)..];
             for n in 0..nx {
                 // s_{t-Nx} is the same node at the previous input step.
-                let delayed = if k == 0 { 0.0 } else { states[(k - 1, n)] };
-                let z = masked[(k, n)] + delayed;
+                let d = if k == 0 { 0.0 } else { delayed[n] };
+                let z = j_row[n] + d;
                 let s = self.a * self.nonlinearity.eval(z) + self.b * prev_chain;
                 if !s.is_finite() || s.abs() > DIVERGENCE_LIMIT {
                     return Err(ReservoirError::Diverged { step: k });
                 }
-                states[(k, n)] = s;
+                row[n] = s;
                 prev_chain = s;
             }
         }
-        Ok(ReservoirRun { masked, states })
+        Ok(())
     }
 }
 
@@ -239,7 +298,22 @@ pub struct ReservoirRun {
     states: Matrix,
 }
 
+impl Default for ReservoirRun {
+    fn default() -> Self {
+        ReservoirRun::empty()
+    }
+}
+
 impl ReservoirRun {
+    /// An empty run — the seed value for [`ModularDfr::run_into`] /
+    /// [`ModularDfr::run_masked_into`] buffer reuse.
+    pub fn empty() -> Self {
+        ReservoirRun {
+            masked: Matrix::zeros(0, 0),
+            states: Matrix::zeros(0, 0),
+        }
+    }
+
     /// The `T × N_x` state history; row `k` is the reservoir state
     /// `x(k+1)` of paper Eq. 4 (0-based row indexing).
     pub fn states(&self) -> &Matrix {
@@ -392,6 +466,38 @@ mod tests {
         let via_run = dfr.run(&series).unwrap();
         let via_masked = dfr.run_masked(dfr.mask().apply(&series)).unwrap();
         assert_eq!(via_run, via_masked);
+    }
+
+    #[test]
+    fn run_into_reuses_buffers_bit_identically() {
+        let dfr = ModularDfr::linear(Mask::binary(6, 2, 5), 0.2, 0.3).unwrap();
+        let mut run = ReservoirRun::empty();
+        // Stale contents from a longer earlier series must not leak.
+        dfr.run_into(&constant_series(12, 2), &mut run).unwrap();
+        for t in [10usize, 3, 12] {
+            let series = constant_series(t, 2);
+            dfr.run_into(&series, &mut run).unwrap();
+            assert_eq!(run, dfr.run(&series).unwrap(), "t={t}");
+            let masked = dfr.mask().apply(&series);
+            let mut run2 = ReservoirRun::empty();
+            dfr.run_masked_into(&masked, &mut run2).unwrap();
+            assert_eq!(run2, run, "t={t}");
+        }
+    }
+
+    #[test]
+    fn run_masked_into_validates_and_detects_divergence() {
+        let dfr = ModularDfr::linear(Mask::binary(4, 1, 0), 10.0, 10.0).unwrap();
+        let mut run = ReservoirRun::empty();
+        assert!(matches!(
+            dfr.run_masked_into(&Matrix::zeros(5, 3), &mut run),
+            Err(ReservoirError::ChannelMismatch { .. })
+        ));
+        let big = Matrix::filled(400, 4, 1e300);
+        assert!(matches!(
+            dfr.run_masked_into(&big, &mut run),
+            Err(ReservoirError::Diverged { .. })
+        ));
     }
 
     #[test]

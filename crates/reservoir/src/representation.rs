@@ -74,26 +74,80 @@ impl Representation for Dprr {
         assert_eq!(out.len(), self.dim(nx), "output buffer has wrong length");
         out.fill(0.0);
         let (products, sums) = out.split_at_mut(nx * nx);
-        for k in 0..t_len {
-            let x_k = states.row(k);
-            // Bias block (Eq. 11 / 19).
+        let flat = states.as_slice();
+
+        // The product block (Eq. 10 / 18) is the rank-1 accumulation
+        // `products += x(k) ⊗ x(k−1)` over all steps (`x(−1) ≡ 0`), and its
+        // cost is dominated by re-reading and re-writing the `N_x²`
+        // accumulator once per step. Processing FOUR steps per sweep keeps
+        // the accumulator element in a register across the four
+        // contributions — ~4× less accumulator traffic — while each element
+        // still receives its contributions one `+=` at a time in strictly
+        // ascending `k`, so the result is bitwise identical to the
+        // one-step-at-a-time loop. The bias block (Eq. 11 / 19) is fused
+        // the same way. The pre-PR `xi == 0` row skip is preserved exactly
+        // (adding a `0·x` term is *not* a bitwise no-op for −0.0), with
+        // mixed-zero groups falling back to narrower sweeps.
+        let mut k = 0;
+        if t_len > 0 {
+            // Step 0 contributes only to the bias block.
+            for (s, &xi) in sums.iter_mut().zip(&flat[..nx]) {
+                *s += xi;
+            }
+            k = 1;
+        }
+        while k + 4 <= t_len {
+            let window = &flat[(k - 1) * nx..(k + 4) * nx];
+            let (x0, c_rows) = window.split_at(nx); // x(k−1), then x(k)..x(k+3)
+            for i in 0..nx {
+                let c0 = c_rows[i];
+                let c1 = c_rows[nx + i];
+                let c2 = c_rows[2 * nx + i];
+                let c3 = c_rows[3 * nx + i];
+                let row = &mut products[i * nx..(i + 1) * nx];
+                if c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0 {
+                    rank4(
+                        row,
+                        x0,
+                        c0,
+                        &c_rows[..nx],
+                        c1,
+                        &c_rows[nx..2 * nx],
+                        c2,
+                        &c_rows[2 * nx..3 * nx],
+                        c3,
+                    );
+                } else {
+                    // Narrow path: per-step updates with the exact skip.
+                    for (step, &c) in [c0, c1, c2, c3].iter().enumerate() {
+                        if c != 0.0 {
+                            rank1(row, &window[step * nx..(step + 1) * nx], c);
+                        }
+                    }
+                }
+            }
+            for (i, s) in sums.iter_mut().enumerate() {
+                let mut v = *s;
+                v += c_rows[i];
+                v += c_rows[nx + i];
+                v += c_rows[2 * nx + i];
+                v += c_rows[3 * nx + i];
+                *s = v;
+            }
+            k += 4;
+        }
+        while k < t_len {
+            let x_k = &flat[k * nx..(k + 1) * nx];
             for (s, &xi) in sums.iter_mut().zip(x_k) {
                 *s += xi;
             }
-            // Product block (Eq. 10 / 18); x(k−1) is zero for k = 0.
-            if k == 0 {
-                continue;
-            }
-            let x_prev = states.row(k - 1);
-            for (i, &xi) in x_k.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let row = &mut products[i * nx..(i + 1) * nx];
-                for (r, &xj) in row.iter_mut().zip(x_prev) {
-                    *r += xi * xj;
+            let x_prev = &flat[(k - 1) * nx..k * nx];
+            for (row, &xi) in products.chunks_exact_mut(nx).zip(x_k) {
+                if xi != 0.0 {
+                    rank1(row, x_prev, xi);
                 }
             }
+            k += 1;
         }
     }
 
@@ -155,6 +209,43 @@ impl Representation for MeanState {
 
     fn name(&self) -> &'static str {
         "mean-state"
+    }
+}
+
+/// Accumulates `row += c · x` one element-`+=` at a time.
+#[inline]
+fn rank1(row: &mut [f64], x: &[f64], c: f64) {
+    for (r, &xj) in row.iter_mut().zip(x) {
+        *r += c * xj;
+    }
+}
+
+/// Accumulates four rank-1 contributions in one sweep, keeping each
+/// accumulator element in a register across the four `+=` operations (the
+/// additions stay separate and ordered — no reassociation, so results are
+/// bitwise identical to four [`rank1`] calls).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn rank4(
+    row: &mut [f64],
+    x0: &[f64],
+    c0: f64,
+    x1: &[f64],
+    c1: f64,
+    x2: &[f64],
+    c2: f64,
+    x3: &[f64],
+    c3: f64,
+) {
+    let n = row.len();
+    let (x0, x1, x2, x3) = (&x0[..n], &x1[..n], &x2[..n], &x3[..n]);
+    for j in 0..n {
+        let mut v = row[j];
+        v += c0 * x0[j];
+        v += c1 * x1[j];
+        v += c2 * x2[j];
+        v += c3 * x3[j];
+        row[j] = v;
     }
 }
 

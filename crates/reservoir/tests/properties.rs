@@ -110,6 +110,39 @@ proptest! {
         prop_assert_eq!(Mask::uniform(16, 1, seed), Mask::uniform(16, 1, seed));
     }
 
+    /// Buffer-reusing forward passes (`run_into` / `run_masked_into`)
+    /// reproduce the allocating `run` bit for bit — across random shapes,
+    /// nonlinearities, stale reused buffers (one run recycled for every
+    /// length) and pool widths 1 / 2 / 8.
+    #[test]
+    fn run_into_bit_identical_to_run(
+        u in series(14, 2),
+        seed in 0u64..100,
+        a in 0.05_f64..0.4,
+        b in 0.05_f64..0.4,
+        t1 in 1usize..14,
+        t2 in 1usize..14,
+    ) {
+        let linear = ModularDfr::linear(Mask::binary(5, 2, seed), a, b).unwrap();
+        let tanh = ModularDfr::new(Mask::binary(5, 2, seed), a, b, Tanh).unwrap();
+        let mut reused = dfr_reservoir::ReservoirRun::empty();
+        for t in [t1, t2, t1.max(t2)] {
+            let input = Matrix::from_vec(t, 2, u.as_slice()[..t * 2].to_vec()).unwrap();
+            for threads in [1usize, 2, 8] {
+                dfr_pool::with_threads(threads, || {
+                    let fresh = linear.run(&input).unwrap();
+                    linear.run_into(&input, &mut reused).unwrap();
+                    assert_eq!(reused, fresh, "run_into t={t} threads={threads}");
+                    linear.run_masked_into(fresh.masked(), &mut reused).unwrap();
+                    assert_eq!(reused, fresh, "run_masked_into t={t} threads={threads}");
+                    let fresh_tanh = tanh.run(&input).unwrap();
+                    tanh.run_into(&input, &mut reused).unwrap();
+                    assert_eq!(reused, fresh_tanh, "tanh t={t} threads={threads}");
+                });
+            }
+        }
+    }
+
     /// The execution-layer determinism contract (DESIGN.md §8): batch DPRR
     /// feature extraction is bit-identical to serial at thread counts
     /// 1, 2 and 8.
