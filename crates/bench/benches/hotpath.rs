@@ -61,7 +61,7 @@ fn bench_sgd_step(c: &mut Criterion) {
         b.iter(|| {
             m.forward_masked_into(std::hint::black_box(&masked), &mut ws.cache)
                 .expect("forward");
-            let TrainWorkspace { cache, bp } = &mut ws;
+            let TrainWorkspace { cache, bp, .. } = &mut ws;
             let loss = backprop_into(&m, &series, cache, &target, &options, bp).expect("grads");
             sgd.step(&mut m, &bp.grads, 0.0, 0.0, &bounds)
                 .expect("step");

@@ -11,11 +11,15 @@
 //! matrix and forward cache per sample, the allocating backward pass
 //! (fresh `bpv`/`ds`/`w_grad`/`dr` per call, per-sample `masked.clone()`),
 //! a gradient clone before the SGD step (the old optimizer cloned
-//! internally), and a readout sweep running one full ridge fit (Gram +
-//! factor + solve) per β candidate. The "workspace" column is today's
-//! [`train`], whose inner loop recycles one `TrainWorkspace` and whose β
-//! sweep computes the Gram once. Both paths must produce bitwise-identical
-//! trained models and selected β — asserted before anything is recorded.
+//! internally), a readout sweep running one full ridge fit per β
+//! candidate, and — since the GEMM PR — the **scalar dense kernels** those
+//! stages originally ran on (row-by-row `dot` matvec/mask-apply, `i-k-j`
+//! Gram/product loops with zero-skip branches, unblocked Cholesky), frozen
+//! here as `legacy_*` functions. The "workspace" column is today's
+//! [`train`]: `TrainWorkspace` recycling, single-Gram β sweep, and the
+//! register-tiled packed microkernel path underneath. Both paths must
+//! produce bitwise-identical trained models and selected β — asserted
+//! before anything is recorded.
 //!
 //! Per-path wall-clock is the minimum over `--repeat` runs. For the
 //! recorded single-core measurement run with `--threads 1`.
@@ -26,17 +30,239 @@ use dfr_bench::{
 };
 use dfr_core::backprop::Gradients;
 use dfr_core::optimizer::Sgd;
-use dfr_core::readout::{mean_cross_entropy, FittedReadout};
+use dfr_core::readout::FittedReadout;
 use dfr_core::trainer::{train, TrainOptions};
 use dfr_core::{CoreError, DfrClassifier};
 use dfr_data::Dataset;
-use dfr_linalg::activation::{cross_entropy, softmax, softmax_cross_entropy_grad};
-use dfr_linalg::ridge::ridge_fit_intercept;
-use dfr_linalg::Matrix;
+use dfr_linalg::activation::{
+    cross_entropy, cross_entropy_from_logits, softmax, softmax_cross_entropy_grad,
+};
+use dfr_linalg::{dot, LinalgError, Matrix};
 use dfr_reservoir::modular::DIVERGENCE_LIMIT;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
+
+// ---- Frozen pre-PR scalar linalg kernels -------------------------------
+//
+// These preserve the dense kernels as they were before the register-tiled
+// microkernel family, so the legacy column measures the true pre-PR
+// implementation end to end. All are bit-identical to today's kernels by
+// the §8 contract — the whole-model identity assert below re-proves it on
+// every run.
+
+/// Pre-PR matvec: one sequential `dot` chain per row.
+fn legacy_matvec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    (0..m.rows()).map(|i| dot(m.row(i), v)).collect()
+}
+
+/// Pre-PR transposed matvec: `i` ascending with the `vi == 0.0` zero-skip.
+fn legacy_t_matvec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for (i, &vi) in v.iter().enumerate() {
+        if vi == 0.0 {
+            continue;
+        }
+        for (o, &x) in out.iter_mut().zip(m.row(i)) {
+            *o += vi * x;
+        }
+    }
+    out
+}
+
+/// Pre-PR mask application: row-by-row `dot` against each mask row.
+fn legacy_mask_apply(mask: &Matrix, series: &Matrix) -> Matrix {
+    let (t, nx) = (series.rows(), mask.rows());
+    let mut out = Matrix::zeros(t, nx);
+    for k in 0..t {
+        let u = series.row(k);
+        for n in 0..nx {
+            out[(k, n)] = dot(mask.row(n), u);
+        }
+    }
+    out
+}
+
+/// Pre-PR `gram` kernel: lower-triangle `dot` per element, mirrored.
+fn legacy_gram(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = dot(x.row(i), x.row(j));
+            out[(i, j)] = v;
+            out[(j, i)] = v;
+        }
+    }
+    out
+}
+
+/// Pre-PR `gram_t` kernel: sample rows outer, `xi == 0.0` zero-skip.
+fn legacy_gram_t(x: &Matrix) -> Matrix {
+    let p = x.cols();
+    let mut out = Matrix::zeros(p, p);
+    for k in 0..x.rows() {
+        let xrow = x.row(k);
+        for (i, orow) in out.as_mut_slice().chunks_mut(p).enumerate() {
+            let xi = xrow[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &xj) in orow[..=i].iter_mut().zip(xrow) {
+                *o += xi * xj;
+            }
+        }
+    }
+    for i in 0..p {
+        for j in i + 1..p {
+            let v = out[(j, i)];
+            out[(i, j)] = v;
+        }
+    }
+    out
+}
+
+/// Pre-PR `t_matmul` kernel: `k` outer with the `l == 0.0` zero-skip.
+fn legacy_t_matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    let (m, n) = (lhs.cols(), rhs.cols());
+    let mut out = Matrix::zeros(m, n);
+    for k in 0..lhs.rows() {
+        let lrow = lhs.row(k);
+        let rrow = rhs.row(k);
+        for (bi, orow) in out.as_mut_slice().chunks_mut(n).enumerate() {
+            let l = lrow[bi];
+            if l == 0.0 {
+                continue;
+            }
+            for (o, &r) in orow.iter_mut().zip(rrow) {
+                *o += l * r;
+            }
+        }
+    }
+    out
+}
+
+/// Pre-PR unblocked left-looking Cholesky factor (lower triangle).
+fn legacy_cholesky_factor(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Pre-PR row-wise forward/back substitution against a Cholesky factor.
+fn legacy_cholesky_solve(l: &Matrix, b: &Matrix) -> Matrix {
+    let n = l.rows();
+    let q = b.cols();
+    let mut out = b.clone();
+    for i in 0..n {
+        for k in 0..i {
+            let lik = l[(i, k)];
+            let (done, rest) = out.as_mut_slice().split_at_mut(i * q);
+            let yk = &done[k * q..(k + 1) * q];
+            for (yi, &v) in rest[..q].iter_mut().zip(yk) {
+                *yi -= lik * v;
+            }
+        }
+        let lii = l[(i, i)];
+        for yi in out.row_mut(i) {
+            *yi /= lii;
+        }
+    }
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            let lki = l[(k, i)];
+            let (head, tail) = out.as_mut_slice().split_at_mut(k * q);
+            let xk = &tail[..q];
+            for (xi, &v) in head[i * q..(i + 1) * q].iter_mut().zip(xk) {
+                *xi -= lki * v;
+            }
+        }
+        let lii = l[(i, i)];
+        for xi in out.row_mut(i) {
+            *xi /= lii;
+        }
+    }
+    out
+}
+
+/// Pre-PR intercept ridge fit on the frozen scalar kernels: augment with a
+/// constant-1 feature, build the Gram for the shape-chosen formulation,
+/// factor, substitute. Returns `(W, bias)`.
+fn legacy_ridge_fit_intercept(
+    x: &Matrix,
+    y: &Matrix,
+    beta: f64,
+) -> Result<(Matrix, Vec<f64>), LinalgError> {
+    let n = x.rows();
+    let p = x.cols();
+    let mut aug = Matrix::zeros(n, p + 1);
+    for i in 0..n {
+        let row = aug.row_mut(i);
+        row[..p].copy_from_slice(x.row(i));
+        row[p] = 1.0;
+    }
+    let use_primal = aug.cols() <= aug.rows();
+    let w_aug = if use_primal {
+        let mut sys = legacy_gram_t(&aug);
+        for i in 0..sys.rows() {
+            sys[(i, i)] += beta;
+        }
+        let l = legacy_cholesky_factor(&sys)?;
+        legacy_cholesky_solve(&l, &legacy_t_matmul(&aug, y))
+    } else {
+        let mut sys = legacy_gram(&aug);
+        for i in 0..sys.rows() {
+            sys[(i, i)] += beta;
+        }
+        let l = legacy_cholesky_factor(&sys)?;
+        let alpha = legacy_cholesky_solve(&l, y);
+        legacy_t_matmul(&aug, &alpha)
+    };
+    let q = w_aug.cols();
+    let mut w = Matrix::zeros(p, q);
+    for i in 0..p {
+        w.row_mut(i).copy_from_slice(w_aug.row(i));
+    }
+    Ok((w, w_aug.row(p).to_vec()))
+}
+
+/// Pre-PR mean cross-entropy: per-sample `dot`-matvec plus bias.
+fn legacy_mean_cross_entropy(
+    features: &Matrix,
+    w_out: &Matrix,
+    bias: &[f64],
+    targets: &Matrix,
+) -> f64 {
+    let n = features.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut logits = legacy_matvec(w_out, features.row(i));
+        for (l, b) in logits.iter_mut().zip(bias) {
+            *l += b;
+        }
+        total += cross_entropy_from_logits(&logits, targets.row(i));
+    }
+    total / n as f64
+}
 
 /// Pre-PR reservoir recurrence: index-addressed element access, state
 /// matrix allocated per call. Returns `None` on divergence.
@@ -100,7 +326,7 @@ fn legacy_forward(
     for f in &mut features {
         *f *= scale;
     }
-    let mut logits = model.w_out().matvec(&features)?;
+    let mut logits = legacy_matvec(model.w_out(), &features);
     for (l, b) in logits.iter_mut().zip(model.bias()) {
         *l += b;
     }
@@ -135,7 +361,7 @@ fn legacy_backprop(
             *w = gc * r;
         }
     }
-    let mut dr = model.w_out().t_matvec(&g)?;
+    let mut dr = legacy_t_matvec(model.w_out(), &g);
     let scale = 1.0 / (t_len.max(1) as f64);
     for d in &mut dr {
         *d *= scale;
@@ -162,11 +388,11 @@ fn legacy_backprop(
     for k in k_start..t_len {
         let row = k - k_start;
         if k > 0 {
-            let term1 = dr_products.matvec(states.row(k - 1))?;
+            let term1 = legacy_matvec(&dr_products, states.row(k - 1));
             bpv.row_mut(row).copy_from_slice(&term1);
         }
         if k + 1 < t_len {
-            let term2 = dr_products.t_matvec(states.row(k + 1))?;
+            let term2 = legacy_t_matvec(&dr_products, states.row(k + 1));
             for (o, t2) in bpv.row_mut(row).iter_mut().zip(term2) {
                 *o += t2;
             }
@@ -234,7 +460,7 @@ fn legacy_train(ds: &Dataset, options: &TrainOptions) -> Result<(DfrClassifier, 
     let masked: Vec<Matrix> = ds
         .train()
         .iter()
-        .map(|s| model.reservoir().mask().apply(&s.series))
+        .map(|s| legacy_mask_apply(model.reservoir().mask().matrix(), &s.series))
         .collect();
     let targets = ds.one_hot_train();
     let mut sgd = Sgd::new();
@@ -275,7 +501,7 @@ fn legacy_train(ds: &Dataset, options: &TrainOptions) -> Result<(DfrClassifier, 
     // rows appended one by one.
     let mut features = Matrix::zeros(0, 0);
     for s in ds.train() {
-        let masked = model.reservoir().mask().apply(&s.series);
+        let masked = legacy_mask_apply(model.reservoir().mask().matrix(), &s.series);
         let states = legacy_drive(model.reservoir().a(), model.reservoir().b(), &masked).ok_or(
             CoreError::NumericalFailure {
                 context: "legacy ridge features",
@@ -291,11 +517,11 @@ fn legacy_train(ds: &Dataset, options: &TrainOptions) -> Result<(DfrClassifier, 
     // Pre-PR readout sweep: one full ridge fit per β candidate.
     let mut best: Option<FittedReadout> = None;
     for &beta in &options.betas {
-        let Ok((w, bias)) = ridge_fit_intercept(&features, &targets, beta) else {
+        let Ok((w, bias)) = legacy_ridge_fit_intercept(&features, &targets, beta) else {
             continue;
         };
         let w_out = w.transpose();
-        let train_loss = mean_cross_entropy(&features, &w_out, &bias, &targets)?;
+        let train_loss = legacy_mean_cross_entropy(&features, &w_out, &bias, &targets);
         if !train_loss.is_finite() {
             continue;
         }
@@ -427,7 +653,9 @@ fn main() {
                 json_str(
                     "legacy = pre-PR implementation frozen in this binary (indexed \
                      recurrence, one-step DPRR sweeps, per-sample allocations/clones, \
-                     per-beta Gram); workspace = train() with TrainWorkspace + RidgePlan; \
+                     per-beta Gram, scalar dense kernels: dot matvec/mask-apply, \
+                     zero-skip i-k-j products, unblocked Cholesky); workspace = train() \
+                     with TrainWorkspace + RidgePlan + packed GEMM microkernels; \
                      min wall-clock over `repeat` runs; bitwise model identity asserted",
                 ),
             ),

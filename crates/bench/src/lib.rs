@@ -152,6 +152,40 @@ pub fn json_f64(x: f64) -> String {
     }
 }
 
+/// Mean, median and population standard deviation of a sample set —
+/// the noise-robust summary the bench records carry alongside the mean.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+///
+/// # Example
+///
+/// ```
+/// let (mean, median, stddev) = dfr_bench::sample_stats(&[1.0, 2.0, 9.0]);
+/// assert_eq!(mean, 4.0);
+/// assert_eq!(median, 2.0);
+/// assert!(stddev > 3.5 && stddev < 3.6);
+/// ```
+pub fn sample_stats(samples: &[f64]) -> (f64, f64, f64) {
+    assert!(
+        !samples.is_empty(),
+        "sample_stats needs at least one sample"
+    );
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    let median = if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    };
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, median, var.sqrt())
+}
+
 /// Renders a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

@@ -25,7 +25,7 @@ use dfr_core::streaming::{streaming_backprop_into, StreamingCache, StreamingForw
 use dfr_core::workspace::TrainWorkspace;
 use dfr_core::DfrClassifier;
 use dfr_linalg::ridge::RidgePlan;
-use dfr_linalg::Matrix;
+use dfr_linalg::{GemmWorkspace, Matrix};
 
 /// Forwards to the system allocator, counting every allocation made by a
 /// thread whose `COUNTING` flag is up. Deallocations are not counted:
@@ -121,7 +121,7 @@ fn sgd_step_is_allocation_free_after_warmup() {
             model
                 .forward_masked_into(&masked, &mut ws.cache)
                 .expect("forward");
-            let TrainWorkspace { cache, bp } = ws;
+            let TrainWorkspace { cache, bp, .. } = ws;
             backprop_into(model, &series, cache, &target, &options, bp).expect("backprop");
             assert!(bp.grads.is_finite());
             sgd.step(model, &bp.grads, 1e-4, 1e-4, &bounds)
@@ -165,6 +165,48 @@ fn streaming_step_is_allocation_free_after_warmup() {
         assert_eq!(
             allocs, 0,
             "post-warm-up streaming steps must not allocate ({allocs} allocations in 100 steps)"
+        );
+    });
+}
+
+#[test]
+fn packed_matmul_is_allocation_free_after_warmup() {
+    dfr_pool::with_threads(1, || {
+        let n = 48;
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|i| ((i as f64) * 0.37).sin()).collect(),
+        )
+        .expect("sized");
+        let b = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|i| ((i as f64) * 0.11).cos()).collect(),
+        )
+        .expect("sized");
+        let mut ws = GemmWorkspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        let mut all = |ws: &mut GemmWorkspace, out: &mut Matrix| {
+            a.matmul_into_ws(&b, out, ws).expect("matmul");
+            a.t_matmul_into_ws(&b, out, ws).expect("t_matmul");
+            a.matmul_t_into_ws(&b, out, ws).expect("matmul_t");
+            a.gram_into_ws(out, ws);
+            a.gram_t_into_ws(out, ws);
+            // The plain `_into` forms pack into the thread-local fallback
+            // workspace — equally allocation-free once it is warm.
+            a.matmul_into(&b, out).expect("matmul tl");
+            a.gram_t_into(out);
+        };
+        all(&mut ws, &mut out); // warm-up: pack buffers reach high water
+        let (allocs, ()) = count_allocs(|| {
+            for _ in 0..10 {
+                all(&mut ws, &mut out);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up packed products must not allocate ({allocs} allocations in 10 rounds)"
         );
     });
 }

@@ -13,7 +13,7 @@
 //!   alternative the paper argues can lock onto the wrong basin.
 
 use crate::model::DfrClassifier;
-use crate::readout::{fit_readout, readout_accuracy};
+use crate::readout::{fit_readout_with, readout_accuracy_with, ReadoutScratch};
 use crate::trainer::features_for_into;
 use crate::CoreError;
 use dfr_data::Dataset;
@@ -150,6 +150,9 @@ struct GridWorkspace {
     labels: Vec<usize>,
     train_features: Matrix,
     test_features: Matrix,
+    /// Readout-fit scratch (intercept-augmented ridge system, GEMM packing
+    /// panels, batched logits) recycled across the worker's cells.
+    readout: ReadoutScratch,
 }
 
 impl GridWorkspace {
@@ -171,6 +174,7 @@ impl GridWorkspace {
             labels: ds.test().iter().map(|s| s.label).collect(),
             train_features: Matrix::zeros(0, 0),
             test_features: Matrix::zeros(0, 0),
+            readout: ReadoutScratch::new(),
         })
     }
 }
@@ -206,7 +210,12 @@ fn evaluate_point_with(
         }
         Err(e) => return Err(e),
     }
-    let fit = match fit_readout(&ws.train_features, &ws.targets, &options.betas) {
+    let fit = match fit_readout_with(
+        &ws.train_features,
+        &ws.targets,
+        &options.betas,
+        &mut ws.readout,
+    ) {
         Ok(f) => f,
         // Enormous (but finite) features can defeat the Cholesky factor; the
         // point is unusable, not the search.
@@ -224,7 +233,13 @@ fn evaluate_point_with(
         }
         Err(e) => return Err(e),
     }
-    let test_accuracy = readout_accuracy(&ws.test_features, &fit.w_out, &fit.bias, &ws.labels)?;
+    let test_accuracy = readout_accuracy_with(
+        &ws.test_features,
+        &fit.w_out,
+        &fit.bias,
+        &ws.labels,
+        &mut ws.readout,
+    )?;
     Ok(GridPoint {
         a,
         b,
@@ -234,13 +249,18 @@ fn evaluate_point_with(
     })
 }
 
-/// Evaluates the row-major cross product `a_points × b_points`, fanning the
-/// cells out over the [`dfr_pool`] execution layer.
+/// Evaluates the row-major cross product `a_points × b_points`, fanning
+/// **contiguous runs of cells** out over the [`dfr_pool`] execution layer —
+/// one run per worker, sized up front, so the spawn granularity is one
+/// scoped thread per worker rather than anything finer.
 ///
 /// Each cell is fully independent (own model, own reservoir run, own
-/// readout fit), and results come back in exactly the order the serial
-/// double loop would produce them, so downstream best-point reductions are
-/// deterministic at every thread count.
+/// readout fit), and results land at the exact index the serial double
+/// loop would write them, so downstream best-point reductions are
+/// deterministic at every thread count. Within a failing run the first
+/// (lowest-index) cell error wins, and across runs the pool reports the
+/// lowest failing run — together, the error of the lowest failing cell,
+/// exactly the per-cell contract this replaced.
 fn evaluate_cells(
     ds: &Dataset,
     options: &GridOptions,
@@ -251,15 +271,34 @@ fn evaluate_cells(
         .iter()
         .flat_map(|&a| b_points.iter().map(move |&b| (a, b)))
         .collect();
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
     // Validate once and build the point-invariant state (model skeleton,
     // targets, labels); each worker clones the prototype and recycles it
-    // across its block of cells.
+    // across its contiguous run of cells.
     let proto = GridWorkspace::new(ds, options)?;
-    dfr_pool::par_try_map_collect_with(
-        &cells,
+    let placeholder = GridPoint {
+        a: f64::NAN,
+        b: f64::NAN,
+        beta: f64::NAN,
+        train_loss: f64::INFINITY,
+        test_accuracy: 0.0,
+    };
+    let mut out = vec![placeholder; cells.len()];
+    let run_len = cells.len().div_ceil(dfr_pool::max_threads().max(1));
+    dfr_pool::par_try_chunks_mut_with(
+        &mut out,
+        run_len,
         || proto.clone(),
-        |_, &(a, b), ws| evaluate_point_with(ds, options, a, b, ws),
-    )
+        |run, slots, ws| -> Result<(), CoreError> {
+            for (slot, &(a, b)) in slots.iter_mut().zip(&cells[run * run_len..]) {
+                *slot = evaluate_point_with(ds, options, a, b, ws)?;
+            }
+            Ok(())
+        },
+    )?;
+    Ok(out)
 }
 
 /// Runs the paper's grid-search protocol: divisions `g = 1, 2, …` until the

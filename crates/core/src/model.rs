@@ -1,7 +1,7 @@
 //! The end-to-end DFR classifier: modular reservoir → DPRR → softmax readout.
 
 use crate::CoreError;
-use dfr_linalg::activation::{cross_entropy, softmax, softmax_into};
+use dfr_linalg::activation::{cross_entropy, dense_bias_softmax_into, softmax_in_place};
 use dfr_linalg::Matrix;
 use dfr_reservoir::mask::Mask;
 use dfr_reservoir::modular::{ModularDfr, ReservoirRun};
@@ -250,12 +250,17 @@ impl<N: Nonlinearity + Clone> DfrClassifier<N> {
             *f *= scale;
         }
         cache.logits.resize(self.num_classes(), 0.0);
-        self.w_out.matvec_into(&cache.features, &mut cache.logits)?;
-        for (l, b) in cache.logits.iter_mut().zip(&self.bias) {
-            *l += b;
-        }
         cache.probs.resize(self.num_classes(), 0.0);
-        softmax_into(&cache.logits, &mut cache.probs);
+        // Fused readout epilogue: one pass over W_out (lockstep matvec),
+        // bias added in the epilogue, stable softmax — bitwise identical
+        // to the separate matvec / bias-loop / softmax stages.
+        dense_bias_softmax_into(
+            &self.w_out,
+            &cache.features,
+            &self.bias,
+            &mut cache.logits,
+            &mut cache.probs,
+        )?;
         Ok(())
     }
 
@@ -266,11 +271,11 @@ impl<N: Nonlinearity + Clone> DfrClassifier<N> {
     ///
     /// Returns [`CoreError::Linalg`] if `features.len() != feature_dim()`.
     pub fn classify_features(&self, features: &[f64]) -> Result<Vec<f64>, CoreError> {
-        let mut logits = self.w_out.matvec(features)?;
-        for (l, b) in logits.iter_mut().zip(&self.bias) {
-            *l += b;
-        }
-        Ok(softmax(&logits))
+        let mut logits = vec![0.0; self.num_classes()];
+        self.w_out
+            .matvec_bias_into(features, &self.bias, &mut logits)?;
+        softmax_in_place(&mut logits);
+        Ok(logits)
     }
 
     /// Predicted class for a series.

@@ -9,8 +9,8 @@
 
 use crate::CoreError;
 use dfr_linalg::activation::{cross_entropy_from_logits, softmax_in_place};
-use dfr_linalg::ridge::{augment_ones, RidgePlan};
-use dfr_linalg::Matrix;
+use dfr_linalg::ridge::{augment_ones_into, RidgePlan, RidgeScratch};
+use dfr_linalg::{GemmWorkspace, Matrix};
 
 /// The paper's β candidates.
 pub const PAPER_BETAS: [f64; 4] = [1e-6, 1e-4, 1e-2, 1.0];
@@ -59,6 +59,49 @@ pub fn fit_readout(
     targets: &Matrix,
     betas: &[f64],
 ) -> Result<FittedReadout, CoreError> {
+    fit_readout_with(features, targets, betas, &mut ReadoutScratch::new())
+}
+
+/// Every reusable buffer of one readout fit: the intercept-augmented
+/// system, the ridge plan's scratch (Gram, factorisation, GEMM packing
+/// panels) and the batched-logits matrix of the loss/accuracy passes.
+///
+/// Grid search fits a readout for thousands of `(A, B)` cells against
+/// same-shaped systems, so each pool worker owns one `ReadoutScratch` and
+/// [`fit_readout_with`] recycles it across that worker's cells.
+#[derive(Debug, Clone, Default)]
+pub struct ReadoutScratch {
+    /// Intercept-augmented feature matrix `[X, 1]`.
+    aug: Matrix,
+    /// Augmented ridge solution `(p + 1) x q`.
+    w_aug: Matrix,
+    /// Ridge-plan buffers (Gram system, Cholesky, packing panels).
+    ridge: RidgeScratch,
+    /// Batched logits of the loss/accuracy passes (`n x q`).
+    logits: Matrix,
+    /// Packing panels for the batched logits product.
+    gemm: GemmWorkspace,
+}
+
+impl ReadoutScratch {
+    /// Empty scratch; every buffer is sized lazily on first use.
+    pub fn new() -> Self {
+        ReadoutScratch::default()
+    }
+}
+
+/// [`fit_readout`] against caller-owned scratch — bitwise identical
+/// results, allocation-recycling across fits (`DESIGN.md` §9).
+///
+/// # Errors
+///
+/// Same as [`fit_readout`].
+pub fn fit_readout_with(
+    features: &Matrix,
+    targets: &Matrix,
+    betas: &[f64],
+    ws: &mut ReadoutScratch,
+) -> Result<FittedReadout, CoreError> {
     if betas.is_empty() {
         return Err(CoreError::InvalidConfig {
             field: "betas",
@@ -70,16 +113,23 @@ pub fn fit_readout(
     // exactly once and sweep every candidate through the prepared plan,
     // which per β only re-adds βI and refactors. Results per β are bitwise
     // identical to a standalone `ridge_fit_intercept` call.
-    let aug = augment_ones(features);
+    augment_ones_into(features, &mut ws.aug);
+    let ReadoutScratch {
+        aug,
+        w_aug,
+        ridge,
+        logits,
+        gemm,
+    } = ws;
     // Plan-construction failures (shape/emptiness) are β-independent:
     // every candidate would fail with this same error, so fail fast.
-    let mut plan = RidgePlan::new(&aug, targets)?;
+    let mut plan =
+        RidgePlan::with_mode_in(aug, targets, dfr_linalg::ridge::RidgeMode::Auto, ridge)?;
     let p = features.cols();
     let mut best: Option<FittedReadout> = None;
     let mut first_err: Option<CoreError> = None;
-    let mut w_aug = Matrix::zeros(0, 0);
     for &beta in betas {
-        match try_fit(&mut plan, &mut w_aug, p, features, targets, beta) {
+        match try_fit(&mut plan, w_aug, p, features, targets, beta, logits, gemm) {
             // A candidate with a non-finite training loss can never be
             // "the smallest loss" — NaN in particular would otherwise
             // survive as an early `best` (NaN never compares `<`).
@@ -114,6 +164,7 @@ pub fn fit_readout(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_fit(
     plan: &mut RidgePlan<'_>,
     w_aug: &mut Matrix,
@@ -121,6 +172,8 @@ fn try_fit(
     features: &Matrix,
     targets: &Matrix,
     beta: f64,
+    logits: &mut Matrix,
+    gemm: &mut GemmWorkspace,
 ) -> Result<FittedReadout, CoreError> {
     plan.solve_into(beta, w_aug)?;
     // ridge returns W as (N_r + 1) × N_y; the readout convention is
@@ -133,7 +186,12 @@ fn try_fit(
         }
     }
     let bias = w_aug.row(p).to_vec();
-    let train_loss = mean_cross_entropy(features, &w_out, &bias, targets)?;
+    batched_logits(features, &w_out, &bias, logits, gemm)?;
+    let mut total = 0.0;
+    for i in 0..features.rows() {
+        total += cross_entropy_from_logits(logits.row(i), targets.row(i));
+    }
+    let train_loss = total / features.rows() as f64;
     if !train_loss.is_finite() {
         return Err(CoreError::NumericalFailure {
             context: "ridge readout loss",
@@ -147,7 +205,29 @@ fn try_fit(
     })
 }
 
+/// All-sample logits `X·W_outᵀ + 1·biasᵀ` in one microkernel product —
+/// per row bitwise identical to a `matvec` + bias loop.
+fn batched_logits(
+    features: &Matrix,
+    w_out: &Matrix,
+    bias: &[f64],
+    logits: &mut Matrix,
+    gemm: &mut GemmWorkspace,
+) -> Result<(), CoreError> {
+    features.matmul_t_into_ws(w_out, logits, gemm)?;
+    for i in 0..logits.rows() {
+        for (l, b) in logits.row_mut(i).iter_mut().zip(bias) {
+            *l += b;
+        }
+    }
+    Ok(())
+}
+
 /// Mean softmax cross-entropy of a linear readout over a feature matrix.
+///
+/// All samples' logits are computed in one batched microkernel product
+/// (bitwise equal, row for row, to the per-sample `matvec` loop this
+/// replaced).
 ///
 /// # Errors
 ///
@@ -162,19 +242,25 @@ pub fn mean_cross_entropy(
     if n == 0 {
         return Ok(0.0);
     }
+    let mut logits = Matrix::zeros(0, 0);
+    batched_logits(
+        features,
+        w_out,
+        bias,
+        &mut logits,
+        &mut GemmWorkspace::new(),
+    )?;
     let mut total = 0.0;
-    let mut logits = vec![0.0; w_out.rows()];
     for i in 0..n {
-        w_out.matvec_into(features.row(i), &mut logits)?;
-        for (l, b) in logits.iter_mut().zip(bias) {
-            *l += b;
-        }
-        total += cross_entropy_from_logits(&logits, targets.row(i));
+        total += cross_entropy_from_logits(logits.row(i), targets.row(i));
     }
     Ok(total / n as f64)
 }
 
 /// Accuracy of a linear readout over a feature matrix with integer labels.
+///
+/// Batched like [`mean_cross_entropy`]; see [`readout_accuracy_with`] for
+/// the scratch-recycling form.
 ///
 /// # Errors
 ///
@@ -185,20 +271,34 @@ pub fn readout_accuracy(
     bias: &[f64],
     labels: &[usize],
 ) -> Result<f64, CoreError> {
+    readout_accuracy_with(features, w_out, bias, labels, &mut ReadoutScratch::new())
+}
+
+/// [`readout_accuracy`] against caller-owned scratch (the batched logits
+/// land in the scratch's buffers) — the form grid search recycles across
+/// cells.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Linalg`] on shape mismatches.
+pub fn readout_accuracy_with(
+    features: &Matrix,
+    w_out: &Matrix,
+    bias: &[f64],
+    labels: &[usize],
+    ws: &mut ReadoutScratch,
+) -> Result<f64, CoreError> {
     let n = features.rows();
     assert_eq!(labels.len(), n, "readout_accuracy: length mismatch");
     if n == 0 {
         return Ok(0.0);
     }
+    batched_logits(features, w_out, bias, &mut ws.logits, &mut ws.gemm)?;
     let mut correct = 0usize;
-    let mut logits = vec![0.0; w_out.rows()];
     for (i, &label) in labels.iter().enumerate() {
-        w_out.matvec_into(features.row(i), &mut logits)?;
-        for (l, b) in logits.iter_mut().zip(bias) {
-            *l += b;
-        }
-        softmax_in_place(&mut logits);
-        if dfr_linalg::stats::argmax(&logits) == Some(label) {
+        let logits = ws.logits.row_mut(i);
+        softmax_in_place(logits);
+        if dfr_linalg::stats::argmax(logits) == Some(label) {
             correct += 1;
         }
     }

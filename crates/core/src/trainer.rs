@@ -14,7 +14,7 @@
 use crate::backprop::{backprop_into, BackpropMode, BackpropOptions};
 use crate::model::{DfrClassifier, ForwardCache};
 use crate::optimizer::{ParamBounds, Schedule, Sgd};
-use crate::readout::{fit_readout, readout_accuracy, PAPER_BETAS};
+use crate::readout::{fit_readout_with, readout_accuracy_with, PAPER_BETAS};
 use crate::workspace::TrainWorkspace;
 use crate::{metrics, CoreError};
 use dfr_data::Dataset;
@@ -253,7 +253,7 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
                 }
                 Err(e) => return Err(e),
             }
-            let TrainWorkspace { cache, bp } = &mut ws;
+            let TrainWorkspace { cache, bp, .. } = &mut ws;
             let loss = backprop_into(
                 &model,
                 &sample.series,
@@ -305,12 +305,18 @@ pub fn train(ds: &Dataset, options: &TrainOptions) -> Result<TrainReport, CoreEr
     // ---- Ridge readout with β selection (§4) -----------------------------
     let ridge_start = Instant::now();
     let train_features = features_for(&model, ds.train().iter().map(|s| &s.series))?;
-    let fit = fit_readout(&train_features, &targets, &options.betas)?;
+    let fit = fit_readout_with(&train_features, &targets, &options.betas, &mut ws.readout)?;
     model.set_readout(fit.w_out.clone(), fit.bias.clone())?;
     let ridge_seconds = ridge_start.elapsed().as_secs_f64();
 
     let train_labels: Vec<usize> = ds.train().iter().map(|s| s.label).collect();
-    let train_accuracy = readout_accuracy(&train_features, &fit.w_out, &fit.bias, &train_labels)?;
+    let train_accuracy = readout_accuracy_with(
+        &train_features,
+        &fit.w_out,
+        &fit.bias,
+        &train_labels,
+        &mut ws.readout,
+    )?;
     let test_accuracy = evaluate(&model, ds)?;
 
     Ok(TrainReport {

@@ -111,7 +111,7 @@ impl BackpropWorkspace {
 /// for _ in 0..3 {
 ///     // Buffers are allocated on the first pass, recycled afterwards.
 ///     model.forward_into(&series, &mut ws.cache)?;
-///     let TrainWorkspace { cache, bp } = &mut ws;
+///     let TrainWorkspace { cache, bp, .. } = &mut ws;
 ///     backprop_into(&model, &series, cache, &[1.0, 0.0, 0.0],
 ///                   &BackpropOptions::default(), bp)?;
 /// }
@@ -119,12 +119,24 @@ impl BackpropWorkspace {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TrainWorkspace {
     /// Forward-pass storage (reservoir run, features, logits, probs).
     pub cache: ForwardCache,
     /// Backward-pass scratch and gradient buffers.
     pub bp: BackpropWorkspace,
+    /// Readout-refit scratch: the intercept-augmented ridge system, its
+    /// GEMM packing panels and the batched-logits buffers (`DESIGN.md`
+    /// §10) — recycled by the trainer's final β sweep.
+    pub readout: crate::readout::ReadoutScratch,
+}
+
+/// Workspace equality is the forward/backward state; readout scratch
+/// carries no identity.
+impl PartialEq for TrainWorkspace {
+    fn eq(&self, other: &Self) -> bool {
+        self.cache == other.cache && self.bp == other.bp
+    }
 }
 
 impl TrainWorkspace {

@@ -206,7 +206,7 @@ proptest! {
         for threads in [1usize, 2, 8] {
             dfr_pool::with_threads(threads, || {
                 m.forward_into(&u, &mut ws.cache).expect("forward_into");
-                let TrainWorkspace { cache: wc, bp } = &mut ws;
+                let TrainWorkspace { cache: wc, bp, .. } = &mut ws;
                 let loss_ws = backprop_into(&m, &u, wc, &d, &options, bp)
                     .expect("backprop_into");
                 assert_eq!(wc, &cache, "cache, threads={threads}");
@@ -311,6 +311,38 @@ proptest! {
                 dfr_core::grid::landscape(&ds, &options, 3).unwrap()
             });
             prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+
+    /// End-to-end trained-model identity across pool widths: the full
+    /// `train` pipeline — SGD epochs on the packed mask/matvec kernels,
+    /// the microkernel Gram β sweep, blocked Cholesky, batched accuracy —
+    /// produces bitwise-identical models, losses and selected β at thread
+    /// counts 1, 2 and 8.
+    #[test]
+    fn trained_model_bit_identical_across_thread_counts(seed in 0u64..1000) {
+        let mut ds = dfr_data::DatasetSpec::new("train-par", 2, 18, 1, 10, 8, 0.35)
+            .build(seed);
+        dfr_data::normalize::standardize(&mut ds);
+        let options = dfr_core::trainer::TrainOptions {
+            nodes: 6,
+            epochs: 3,
+            ..dfr_core::trainer::TrainOptions::calibrated()
+        };
+        let serial = dfr_pool::with_threads(1, || {
+            dfr_core::trainer::train(&ds, &options).unwrap()
+        });
+        for threads in [2usize, 8] {
+            let parallel = dfr_pool::with_threads(threads, || {
+                dfr_core::trainer::train(&ds, &options).unwrap()
+            });
+            prop_assert_eq!(&parallel.model, &serial.model, "model, threads={}", threads);
+            prop_assert_eq!(parallel.beta.to_bits(), serial.beta.to_bits(),
+                "beta, threads={}", threads);
+            prop_assert_eq!(parallel.train_loss.to_bits(), serial.train_loss.to_bits(),
+                "loss, threads={}", threads);
+            prop_assert_eq!(parallel.test_accuracy.to_bits(), serial.test_accuracy.to_bits(),
+                "accuracy, threads={}", threads);
         }
     }
 }

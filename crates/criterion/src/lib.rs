@@ -145,18 +145,27 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     iterations: u64,
     elapsed: Duration,
+    /// Per-iteration wall-clock samples (seconds) — the raw material of
+    /// the median/stddev summary.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine` against the measurement budget.
+    /// Times repeated calls of `routine` against the measurement budget,
+    /// recording one wall-clock sample per iteration so the summary can
+    /// report median and stddev alongside the mean (robust against the
+    /// scheduler noise of shared CI hosts).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         for _ in 0..WARMUP_ITERS {
             std::hint::black_box(routine());
         }
+        self.samples.clear();
         let start = Instant::now();
         let mut iterations = 0u64;
         loop {
+            let t0 = Instant::now();
             std::hint::black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
             iterations += 1;
             if start.elapsed() >= MEASURE_BUDGET || iterations >= MAX_ITERS {
                 break;
@@ -172,7 +181,25 @@ impl Bencher {
 struct Record {
     name: String,
     mean_ns: f64,
+    median_ns: f64,
+    stddev_ns: f64,
     iterations: u64,
+}
+
+/// Median and population standard deviation of a non-empty sample set.
+fn median_stddev(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    let median = if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    };
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (median, var.sqrt())
 }
 
 /// Every benchmark measured so far in this process.
@@ -185,10 +212,17 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
         println!("{label:<40} (no iterations recorded)");
         return;
     }
-    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    // Mean over the per-iteration samples, not outer-window / iterations:
+    // the samples exclude the sampling overhead itself (the two `Instant`
+    // reads and the push), keeping records comparable with pre-sampling
+    // history for sub-microsecond bodies.
+    let per_iter = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    let (median, stddev) = median_stddev(&bencher.samples);
     println!(
-        "{label:<40} {:>12} /iter  ({} iters)",
+        "{label:<40} {:>12} /iter  (median {}, ±{}, {} iters)",
         format_duration(per_iter),
+        format_duration(median),
+        format_duration(stddev),
         bencher.iterations
     );
     RECORDS
@@ -197,14 +231,18 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
         .push(Record {
             name: label.to_string(),
             mean_ns: per_iter * 1e9,
+            median_ns: median * 1e9,
+            stddev_ns: stddev * 1e9,
             iterations: bencher.iterations,
         });
 }
 
 /// Writes all benchmarks measured so far to the file named by the
 /// `CRITERION_JSON` environment variable, as a JSON array of
-/// `{name, mean_ns, iters, threads}` objects. A no-op when the variable is
-/// unset. Called automatically at the end of [`criterion_main!`].
+/// `{name, mean_ns, median_ns, stddev_ns, iters, threads}` objects (the
+/// median/stddev make the records noise-robust on shared hosts). A no-op
+/// when the variable is unset. Called automatically at the end of
+/// [`criterion_main!`].
 ///
 /// # Panics
 ///
@@ -222,9 +260,12 @@ pub fn write_json_summary() {
         let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
         let threads = threads.map_or("null".to_string(), |t| t.to_string());
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"threads\": {}}}{}\n",
+            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+             \"stddev_ns\": {:.1}, \"iters\": {}, \"threads\": {}}}{}\n",
             name,
             r.mean_ns,
+            r.median_ns,
+            r.stddev_ns,
             r.iterations,
             threads,
             if i + 1 < records.len() { "," } else { "" }

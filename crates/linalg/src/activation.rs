@@ -3,7 +3,11 @@
 //! The DFR output layer (paper Eqs. 14–16) computes class probabilities
 //! `y = softmax(W_out r + b)` and the cross-entropy loss
 //! `L = −Σ_k d_k log y_k`; combined, their gradient with respect to the
-//! logits is the famously simple `y − d` (paper Eq. 16).
+//! logits is the famously simple `y − d` (paper Eq. 16). The whole layer
+//! is available as one fused epilogue, [`dense_bias_softmax_into`], the
+//! forward hot path's tail.
+
+use crate::{LinalgError, Matrix};
 
 /// Log of the sum of exponentials, computed stably by factoring out the max.
 ///
@@ -63,6 +67,36 @@ pub fn softmax_in_place(logits: &mut [f64]) {
     for x in logits.iter_mut() {
         *x /= sum;
     }
+}
+
+/// The fused dense→bias→softmax epilogue: `probs = softmax(w·x + bias)`,
+/// with the pre-activations left in `logits` (backpropagation and the
+/// logit-space loss both want them). One pass over `w` through the
+/// lockstep matvec kernel, bias added in the epilogue, then the stable
+/// softmax — bitwise identical to `matvec_into` + a bias loop +
+/// [`softmax_into`] run separately.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `w.cols() != x.len()` or
+/// `bias`/`logits`/`probs` are not all of length `w.rows()`.
+pub fn dense_bias_softmax_into(
+    w: &Matrix,
+    x: &[f64],
+    bias: &[f64],
+    logits: &mut [f64],
+    probs: &mut [f64],
+) -> Result<(), LinalgError> {
+    if probs.len() != w.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dense_bias_softmax",
+            lhs: w.shape(),
+            rhs: (probs.len(), 1),
+        });
+    }
+    w.matvec_bias_into(x, bias, logits)?;
+    softmax_into(logits, probs);
+    Ok(())
 }
 
 /// Cross-entropy loss `−Σ_k d_k log y_k` between a probability vector `y`

@@ -5,7 +5,16 @@
 //! matrices are symmetric positive definite for `β > 0`, so Cholesky is the
 //! right tool: no pivoting, `n³/3` flops, and a definiteness check for free.
 
+use crate::gemm::{self, GemmWorkspace, MR, NR};
 use crate::{LinalgError, Matrix};
+
+/// Panel width of the blocked right-looking factorisation: columns are
+/// factored [`NB`] at a time and the trailing submatrix is updated through
+/// the subtractive GEMM microkernel. The blocking regroups *when* each
+/// `l[i][k]·l[j][k]` term is subtracted, never the per-element order (`k`
+/// ascending, one subtraction at a time), so factors are bitwise equal to
+/// the unblocked left-looking loop.
+const NB: usize = 32;
 
 /// The lower-triangular Cholesky factor `L` of an SPD matrix `A = L·Lᵀ`.
 ///
@@ -24,11 +33,21 @@ use crate::{LinalgError, Matrix};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Cholesky {
     /// Lower-triangular factor, stored as a full matrix with the strict
     /// upper triangle zeroed.
     l: Matrix,
+    /// Packing scratch for the blocked trailing update, recycled across
+    /// refactorisations (the β-sweep refactors once per candidate).
+    ws: GemmWorkspace,
+}
+
+/// Equality is the factor itself; packing scratch carries no identity.
+impl PartialEq for Cholesky {
+    fn eq(&self, other: &Self) -> bool {
+        self.l == other.l
+    }
 }
 
 impl Cholesky {
@@ -55,12 +74,22 @@ impl Cholesky {
     pub fn empty() -> Self {
         Cholesky {
             l: Matrix::zeros(0, 0),
+            ws: GemmWorkspace::new(),
         }
     }
 
     /// [`Cholesky::factor`] writing into a caller-owned factorisation,
     /// reusing its storage — the allocation-free form the β-sweep ridge
     /// solver refactors with.
+    ///
+    /// The factorisation is blocked right-looking: columns are factored
+    /// [`NB`] at a time (left-looking within the panel) and the trailing
+    /// submatrix is updated through the subtractive GEMM microkernel of
+    /// [`crate::gemm`]. Blocking only regroups *when* each
+    /// `l[i][k]·l[j][k]` term is subtracted — per element every term is
+    /// still subtracted one at a time in ascending `k`, so the factor (and
+    /// the index of the first failing pivot) is bitwise identical to the
+    /// unblocked left-looking loop.
     ///
     /// On error `out` is left in an unspecified (but safe) state; callers
     /// must not solve with it until a later `factor_into` succeeds.
@@ -83,22 +112,39 @@ impl Cholesky {
         out.l.resize(n, n);
         out.l.fill_zero();
         let l = &mut out.l;
+        // Seed the working lower triangle from `a` (only the lower triangle
+        // is read; the strict upper stays zero, as `factor_l` promises).
         for i in 0..n {
-            for j in 0..=i {
-                // sum = A[i][j] - Σ_{k<j} L[i][k]·L[j][k]
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        let mut kb = 0;
+        while kb < n {
+            let ke = (kb + NB).min(n);
+            // Panel factor: columns kb..ke over rows j..n, left-looking
+            // within the panel (terms k < kb were already subtracted by
+            // earlier trailing updates).
+            for j in kb..ke {
+                let mut sum = l[(j, j)];
+                for k2 in kb..j {
+                    sum -= l[(j, k2)] * l[(j, k2)];
                 }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: j });
+                }
+                let d = sum.sqrt();
+                l[(j, j)] = d;
+                for i in j + 1..n {
+                    let mut sum = l[(i, j)];
+                    for k2 in kb..j {
+                        sum -= l[(i, k2)] * l[(j, k2)];
                     }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
+                    l[(i, j)] = sum / d;
                 }
             }
+            if ke < n {
+                trailing_update(l, kb, ke, &mut out.ws);
+            }
+            kb = ke;
         }
         Ok(())
     }
@@ -226,6 +272,57 @@ impl Cholesky {
     /// Log-determinant of the original matrix, `log det A = 2 Σ log L[i][i]`.
     pub fn log_det(&self) -> f64 {
         (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// The placeholder factorisation ([`Cholesky::empty`]).
+impl Default for Cholesky {
+    fn default() -> Self {
+        Cholesky::empty()
+    }
+}
+
+/// The right-looking trailing update after factoring panel `[kb, ke)`:
+/// `T[i][j] -= Σ_{k ∈ [kb, ke)} L[i][k]·L[j][k]` for the lower triangle
+/// `ke ≤ j ≤ i < n`, tiled through the subtractive microkernel. Each tile
+/// is *loaded* into the register accumulator, every `k` term is subtracted
+/// individually in ascending order, and the tile is stored back — the
+/// exact per-element subtraction chain of the unblocked loop. Tiles
+/// straddling the diagonal compute their full block (the strict upper
+/// lanes read zeros and are never stored).
+fn trailing_update(l: &mut Matrix, kb: usize, ke: usize, ws: &mut GemmWorkspace) {
+    let n = l.rows();
+    let m_tr = n - ke;
+    let kk = ke - kb;
+    let GemmWorkspace { a_pack, b_pack } = ws;
+    gemm::pack_a(a_pack, m_tr, kk, |i, k2| l[(ke + i, kb + k2)]);
+    gemm::pack_b(b_pack, m_tr, kk, |k2, j| l[(ke + j, kb + k2)]);
+    for pi in 0..m_tr.div_ceil(MR) {
+        let i0 = pi * MR;
+        let h = MR.min(m_tr - i0);
+        let i_max = i0 + h - 1;
+        let a_panel = &a_pack[pi * kk * MR..(pi + 1) * kk * MR];
+        let mut j0 = 0;
+        while j0 <= i_max {
+            let b_panel = &b_pack[(j0 / NR) * kk * NR..(j0 / NR + 1) * kk * NR];
+            let w_full = NR.min(m_tr - j0);
+            let mut acc = [[0.0; NR]; MR];
+            for (ii, accr) in acc.iter_mut().enumerate().take(h) {
+                let row = &l.row(ke + i0 + ii)[ke + j0..ke + j0 + w_full];
+                accr[..w_full].copy_from_slice(row);
+            }
+            gemm::mk_mul_sub(a_panel, b_panel, &mut acc);
+            for (ii, accr) in acc.iter().enumerate().take(h) {
+                let i_rel = i0 + ii;
+                if j0 > i_rel {
+                    continue;
+                }
+                let w = (i_rel + 1 - j0).min(w_full);
+                let row = &mut l.row_mut(ke + i_rel)[ke + j0..ke + j0 + w];
+                row.copy_from_slice(&accr[..w]);
+            }
+            j0 += NR;
+        }
     }
 }
 

@@ -5,8 +5,12 @@
 //!
 //! * [`Matrix`] — a row-major dense matrix of `f64` with the usual
 //!   products ([`Matrix::matmul`], [`Matrix::matvec`], transposes, …).
-//! * [`cholesky`] — Cholesky factorisation and solves for symmetric
-//!   positive-definite systems, used by the ridge-regression readout.
+//! * [`gemm`] — the register-tiled, panel-packed GEMM microkernel family
+//!   every dense product routes through (see `DESIGN.md` §10), with
+//!   [`GemmWorkspace`] owning the reusable packing buffers.
+//! * [`cholesky`] — blocked Cholesky factorisation and solves for
+//!   symmetric positive-definite systems, used by the ridge-regression
+//!   readout.
 //! * [`ridge`] — ridge regression in both primal and dual form with
 //!   automatic selection based on the problem shape.
 //! * [`activation`] — numerically stable softmax / log-sum-exp and the
@@ -39,9 +43,11 @@
 pub mod activation;
 pub mod cholesky;
 mod error;
+pub mod gemm;
 mod matrix;
 pub mod ridge;
 pub mod stats;
 
 pub use error::LinalgError;
+pub use gemm::GemmWorkspace;
 pub use matrix::{dot, Matrix};

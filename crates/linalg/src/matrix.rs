@@ -1,3 +1,4 @@
+use crate::gemm::{self, GemmWorkspace, MR};
 use crate::LinalgError;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
@@ -231,10 +232,15 @@ impl Matrix {
 
     /// Matrix-matrix product `self * rhs`.
     ///
-    /// Large products run banded over the [`dfr_pool`] execution layer: each
-    /// worker owns a contiguous band of output rows, and every output row is
-    /// computed with the identical cache-blocked kernel regardless of the
-    /// banding, so results are bit-identical at every thread count.
+    /// All matrix products run through the register-tiled, panel-packed
+    /// microkernel family of [`crate::gemm`]: both operands are packed once
+    /// into panel buffers, the output is walked in `MR × NR` register
+    /// tiles, and large products band their output rows over the
+    /// [`dfr_pool`] execution layer (band heights rounded to
+    /// [`gemm::MR`] so bands align with packed panels). Per output element
+    /// the accumulation order is `k` ascending regardless of tiling or
+    /// banding, so results are bit-identical to the naive loop at every
+    /// thread count.
     ///
     /// # Errors
     ///
@@ -247,12 +253,29 @@ impl Matrix {
 
     /// [`Matrix::matmul`] writing into a caller-owned output matrix, which
     /// is resized to `self.rows() x rhs.cols()` (reusing its allocation) and
-    /// overwritten. Same kernel, same banding, bitwise-identical results.
+    /// overwritten. Packs into a thread-local workspace; see
+    /// [`Matrix::matmul_into_ws`] for caller-owned packing buffers.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        gemm::with_fallback_ws(|ws| self.matmul_into_ws(rhs, out, ws))
+    }
+
+    /// [`Matrix::matmul_into`] packing into a caller-owned
+    /// [`GemmWorkspace`] — the fully allocation-free form once the
+    /// workspace buffers reach their high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into_ws(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        ws: &mut GemmWorkspace,
+    ) -> Result<(), LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -260,26 +283,23 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        out.resize(self.rows, rhs.cols);
-        out.fill_zero();
-        if self.rows == 0 || rhs.cols == 0 {
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        out.resize(m, n);
+        if m == 0 || n == 0 {
             return Ok(());
         }
-        let chunk = band_chunk_len(self.rows, rhs.cols, self.rows * self.cols * rhs.cols);
-        let band_rows = chunk / rhs.cols;
-        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
-            let rows_here = out_band.len() / rhs.cols;
-            let lhs_band = &self.data[band * band_rows * self.cols..][..rows_here * self.cols];
-            matmul_band(out_band, lhs_band, self.cols, rhs);
-        });
+        let GemmWorkspace { a_pack, b_pack } = ws;
+        gemm::pack_a(a_pack, m, k, |i, kk| self.data[i * k + kk]);
+        gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[kk * n + j]);
+        drive_bands(out, k, a_pack, b_pack, m * k * n);
         Ok(())
     }
 
     /// Product of `selfᵀ` with `rhs` without materialising the transpose.
     ///
-    /// Parallelised by bands of output rows (columns of `self`) with the
-    /// same bit-identical-across-thread-counts guarantee as
-    /// [`Matrix::matmul`].
+    /// Same microkernel path and bit-identical-across-thread-counts
+    /// guarantee as [`Matrix::matmul`] — packing absorbs the transposed
+    /// access pattern.
     ///
     /// # Errors
     ///
@@ -297,6 +317,21 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        gemm::with_fallback_ws(|ws| self.t_matmul_into_ws(rhs, out, ws))
+    }
+
+    /// [`Matrix::t_matmul_into`] packing into a caller-owned
+    /// [`GemmWorkspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn t_matmul_into_ws(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        ws: &mut GemmWorkspace,
+    ) -> Result<(), LinalgError> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matmul",
@@ -304,23 +339,24 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        out.resize(self.cols, rhs.cols);
-        out.fill_zero();
-        if self.cols == 0 || rhs.cols == 0 {
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        out.resize(m, n);
+        if m == 0 || n == 0 {
             return Ok(());
         }
-        let chunk = band_chunk_len(self.cols, rhs.cols, self.rows * self.cols * rhs.cols);
-        let band_rows = chunk / rhs.cols;
-        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
-            t_matmul_band(out_band, band * band_rows, self, rhs);
-        });
+        let GemmWorkspace { a_pack, b_pack } = ws;
+        // Left operand is selfᵀ: element (i, kk) of the product's A is
+        // self[kk][i]; packing linearises the strided walk once.
+        gemm::pack_a(a_pack, m, k, |i, kk| self.data[kk * m + i]);
+        gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[kk * n + j]);
+        drive_bands(out, k, a_pack, b_pack, m * k * n);
         Ok(())
     }
 
     /// Product of `self` with `rhsᵀ` without materialising the transpose.
     ///
-    /// Parallelised by bands of output rows with the same
-    /// bit-identical-across-thread-counts guarantee as [`Matrix::matmul`].
+    /// Same microkernel path and bit-identical-across-thread-counts
+    /// guarantee as [`Matrix::matmul`].
     ///
     /// # Errors
     ///
@@ -338,6 +374,21 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
     pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        gemm::with_fallback_ws(|ws| self.matmul_t_into_ws(rhs, out, ws))
+    }
+
+    /// [`Matrix::matmul_t_into`] packing into a caller-owned
+    /// [`GemmWorkspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_t_into_ws(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        ws: &mut GemmWorkspace,
+    ) -> Result<(), LinalgError> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_t",
@@ -345,33 +396,28 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        out.resize(self.rows, rhs.rows);
-        out.fill_zero();
-        if self.rows == 0 || rhs.rows == 0 {
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        out.resize(m, n);
+        if m == 0 || n == 0 {
             return Ok(());
         }
-        let chunk = band_chunk_len(self.rows, rhs.rows, self.rows * self.cols * rhs.rows);
-        let band_rows = chunk / rhs.rows;
-        dfr_pool::par_chunks_mut(out.data.as_mut_slice(), chunk, |band, out_band| {
-            let i0 = band * band_rows;
-            for (bi, orow) in out_band.chunks_mut(rhs.rows).enumerate() {
-                let lrow = self.row(i0 + bi);
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = dot(lrow, rhs.row(j));
-                }
-            }
-        });
+        let GemmWorkspace { a_pack, b_pack } = ws;
+        gemm::pack_a(a_pack, m, k, |i, kk| self.data[i * k + kk]);
+        // Right operand is rhsᵀ: element (kk, j) of the product's B is
+        // rhs[j][kk].
+        gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[j * k + kk]);
+        drive_bands(out, k, a_pack, b_pack, m * k * n);
         Ok(())
     }
 
     /// The Gram matrix `self · selfᵀ` (`n x n` for an `n x p` matrix) —
     /// the kernel behind the *dual* ridge normal equations.
     ///
-    /// Only the lower triangle is computed (banded over the pool, with band
-    /// heights sized for equal triangular *work* rather than equal row
-    /// counts); the upper is mirrored, which is exact because `dot(rᵢ, rⱼ)`
-    /// is symmetric in floating point. Entries are bitwise equal to
-    /// `self.matmul_t(self)` at every thread count.
+    /// Only the lower triangle is computed (through the same microkernel,
+    /// banded over the pool with band heights sized for equal triangular
+    /// *work* and rounded to [`gemm::MR`]); the upper is mirrored, which is
+    /// exact because `dot(rᵢ, rⱼ)` is symmetric in floating point. Entries
+    /// are bitwise equal to `self.matmul_t(self)` at every thread count.
     pub fn gram(&self) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
         self.gram_into(&mut out);
@@ -382,32 +428,30 @@ impl Matrix {
     /// to `n x n`, allocation reused). Same triangular banding, bitwise
     /// identical at every thread count.
     pub fn gram_into(&self, out: &mut Matrix) {
-        let n = self.rows;
+        gemm::with_fallback_ws(|ws| self.gram_into_ws(out, ws));
+    }
+
+    /// [`Matrix::gram_into`] packing into a caller-owned [`GemmWorkspace`].
+    pub fn gram_into_ws(&self, out: &mut Matrix, ws: &mut GemmWorkspace) {
+        let (n, k) = (self.rows, self.cols);
         out.resize(n, n);
-        out.fill_zero();
         if n == 0 {
             return;
         }
-        let madds = n * n * self.cols / 2;
-        par_triangle_bands(out.data.as_mut_slice(), n, madds, |i0, band| {
-            for (bi, orow) in band.chunks_mut(n).enumerate() {
-                let i = i0 + bi;
-                let ri = self.row(i);
-                for (j, o) in orow[..=i].iter_mut().enumerate() {
-                    *o = dot(ri, self.row(j));
-                }
-            }
-        });
+        let GemmWorkspace { a_pack, b_pack } = ws;
+        gemm::pack_a(a_pack, n, k, |i, kk| self.data[i * k + kk]);
+        gemm::pack_b(b_pack, n, k, |kk, j| self.data[j * k + kk]);
+        drive_triangle_bands(out, k, a_pack, b_pack, n * n * k / 2);
         mirror_lower_to_upper(out);
     }
 
     /// The Gram matrix `selfᵀ · self` (`p x p` for an `n x p` matrix) —
     /// the kernel behind the *primal* ridge normal equations.
     ///
-    /// Lower triangle only (work-balanced bands, like [`Matrix::gram`]),
-    /// accumulated over sample rows in ascending order, then mirrored;
-    /// entries are bitwise equal to `self.t_matmul(self)` at every thread
-    /// count.
+    /// Lower triangle only (microkernel tiles over work-balanced,
+    /// MR-rounded bands, like [`Matrix::gram`]), accumulated over sample
+    /// rows in ascending order, then mirrored; entries are bitwise equal to
+    /// `self.t_matmul(self)` at every thread count.
     pub fn gram_t(&self) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
         self.gram_t_into(&mut out);
@@ -417,28 +461,21 @@ impl Matrix {
     /// [`Matrix::gram_t`] writing into a caller-owned output matrix (resized
     /// to `p x p`, allocation reused).
     pub fn gram_t_into(&self, out: &mut Matrix) {
-        let p = self.cols;
+        gemm::with_fallback_ws(|ws| self.gram_t_into_ws(out, ws));
+    }
+
+    /// [`Matrix::gram_t_into`] packing into a caller-owned
+    /// [`GemmWorkspace`].
+    pub fn gram_t_into_ws(&self, out: &mut Matrix, ws: &mut GemmWorkspace) {
+        let (p, k) = (self.cols, self.rows);
         out.resize(p, p);
-        out.fill_zero();
         if p == 0 {
             return;
         }
-        let madds = p * p * self.rows / 2;
-        par_triangle_bands(out.data.as_mut_slice(), p, madds, |i0, band| {
-            for k in 0..self.rows {
-                let xrow = self.row(k);
-                for (bi, orow) in band.chunks_mut(p).enumerate() {
-                    let i = i0 + bi;
-                    let xi = xrow[i];
-                    if xi == 0.0 {
-                        continue;
-                    }
-                    for (o, &xj) in orow[..=i].iter_mut().zip(xrow) {
-                        *o += xi * xj;
-                    }
-                }
-            }
-        });
+        let GemmWorkspace { a_pack, b_pack } = ws;
+        gemm::pack_a(a_pack, p, k, |i, kk| self.data[kk * p + i]);
+        gemm::pack_b(b_pack, p, k, |kk, j| self.data[kk * p + j]);
+        drive_triangle_bands(out, k, a_pack, b_pack, p * p * k / 2);
         mirror_lower_to_upper(out);
     }
 
@@ -468,8 +505,36 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = dot(self.row(i), v);
+        matvec_rows(&self.data, self.cols, v, out);
+        Ok(())
+    }
+
+    /// Fused `self * v + bias` — the readout's pre-activation in one pass,
+    /// the front half of the bias+softmax epilogue
+    /// ([`crate::activation::dense_bias_softmax_into`]). Per element the
+    /// arithmetic is `dot(row, v)` then one bias add, bitwise identical to
+    /// [`Matrix::matvec_into`] followed by a `+=` loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`
+    /// or `bias.len() != self.rows()` or `out.len() != self.rows()`.
+    pub fn matvec_bias_into(
+        &self,
+        v: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if self.cols != v.len() || bias.len() != self.rows || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_bias",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        matvec_rows(&self.data, self.cols, v, out);
+        for (o, &b) in out.iter_mut().zip(bias) {
+            *o += b;
         }
         Ok(())
     }
@@ -501,10 +566,11 @@ impl Matrix {
             });
         }
         out.fill(0.0);
+        // No zero-skip on `vi`: dense operands make the branch pure
+        // mispredict cost, and adding an exact-zero product never changes
+        // the (never negative-zero) accumulator of a finite sum, so the
+        // branch-free loop is bit-identical — and vectorisable.
         for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
             for (o, &m) in out.iter_mut().zip(self.row(i)) {
                 *o += vi * m;
             }
@@ -723,103 +789,118 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// The `0 x 0` matrix — lets workspace types holding matrices derive
+/// `Default`.
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+// The lockstep matvec below unrolls exactly four row chains.
+const _: () = assert!(MR == 4, "matvec_rows unrolls exactly MR = 4 row chains");
+
+/// The matvec core: walks [`MR`] rows in lockstep so the [`MR`] per-row
+/// accumulator chains (each still strictly `k`-ascending, bitwise equal to
+/// [`dot`]) run as independent instruction-level streams instead of one
+/// latency-bound chain at a time.
+fn matvec_rows(data: &[f64], cols: usize, v: &[f64], out: &mut [f64]) {
+    if cols == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let blocks = out.len() / MR;
+    for (quad, aout) in data
+        .chunks_exact(MR * cols)
+        .zip(out.chunks_exact_mut(MR))
+        .take(blocks)
+    {
+        let (r0, rest) = quad.split_at(cols);
+        let (r1, rest) = rest.split_at(cols);
+        let (r2, r3) = rest.split_at(cols);
+        let mut acc = [0.0_f64; MR];
+        for ((((&x, &y0), &y1), &y2), &y3) in v.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+            acc[0] += y0 * x;
+            acc[1] += y1 * x;
+            acc[2] += y2 * x;
+            acc[3] += y3 * x;
+        }
+        aout.copy_from_slice(&acc);
+    }
+    for (row, o) in data
+        .chunks_exact(cols)
+        .zip(out.iter_mut())
+        .skip(blocks * MR)
+    {
+        *o = dot(row, v);
+    }
+}
+
 /// Multiply-add count below which a product stays serial: a scoped spawn
 /// costs ~10µs, so bands only pay off once there is real arithmetic to
 /// split. Size-based only — never thread-count-based — so the banding
 /// decision itself is deterministic.
 const PAR_MIN_MADDS: usize = 1 << 18;
 
-/// Inner `k`-panel width of the blocked matmul kernel: 64 rows of a
-/// 1000-column `f64` rhs panel is ~512 KiB... sized so a panel of typical
-/// DPRR-width operands stays L2-resident while a band of output rows
-/// streams over it.
-const K_BLOCK: usize = 64;
-
-/// Chunk length (in elements of the output slice) for a row-banded parallel
-/// product: one contiguous band per pool thread, or a single band covering
-/// the whole output when the arithmetic is too small to amortise a spawn.
-fn band_chunk_len(out_rows: usize, out_cols: usize, madds: usize) -> usize {
+/// Fans the packed microkernel out over contiguous bands of output rows,
+/// one band per pool thread (or a single inline band when the arithmetic
+/// is too small to amortise a spawn). Band heights are rounded up to
+/// [`gemm::MR`] so every band starts on an A-panel boundary; the per-tile
+/// kernel is identical regardless of banding, so results are bit-identical
+/// at every thread count.
+fn drive_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds: usize) {
+    let (m, n) = out.shape();
     let threads = if madds < PAR_MIN_MADDS {
         1
     } else {
-        dfr_pool::max_threads()
+        dfr_pool::max_threads().clamp(1, m)
     };
-    out_rows.div_ceil(threads.clamp(1, out_rows)) * out_cols
+    let band_rows = m.div_ceil(threads).next_multiple_of(MR);
+    dfr_pool::par_chunks_mut(out.data.as_mut_slice(), band_rows * n, |band, out_band| {
+        let rows_here = out_band.len() / n;
+        let first_panel = band * band_rows / MR;
+        let panels_here = rows_here.div_ceil(MR);
+        let a_band = &a_pack[first_panel * k * MR..(first_panel + panels_here) * k * MR];
+        gemm::gemm_band(out_band, rows_here, n, k, a_band, b_pack);
+    });
 }
 
-/// The cache-blocked matmul kernel for one band of output rows.
-///
-/// `lhs_band` holds the matching band of lhs rows (row-major, width
-/// `k_dim`). The `k` loop ascends across panels, so every output element is
-/// accumulated in exactly the same order as an unblocked, unbanded i-k-j
-/// loop — the determinism contract of `DESIGN.md` §8.
-fn matmul_band(out_band: &mut [f64], lhs_band: &[f64], k_dim: usize, rhs: &Matrix) {
-    let n = rhs.cols();
-    let mut kb = 0;
-    while kb < k_dim {
-        let ke = (kb + K_BLOCK).min(k_dim);
-        for (orow, lrow) in out_band.chunks_mut(n).zip(lhs_band.chunks(k_dim)) {
-            for (k, &a) in lrow[kb..ke].iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                for (o, &r) in orow.iter_mut().zip(rhs.row(kb + k)) {
-                    *o += a * r;
-                }
-            }
-        }
-        kb = ke;
-    }
-}
-
-/// The transposed-matmul kernel for one band of output rows (columns `i0..`
-/// of `lhs`), accumulating over shared rows `k` in ascending order.
-fn t_matmul_band(out_band: &mut [f64], i0: usize, lhs: &Matrix, rhs: &Matrix) {
-    let n = rhs.cols();
-    for k in 0..lhs.rows() {
-        let lrow = lhs.row(k);
-        let rrow = rhs.row(k);
-        for (bi, orow) in out_band.chunks_mut(n).enumerate() {
-            let l = lrow[i0 + bi];
-            if l == 0.0 {
-                continue;
-            }
-            for (o, &r) in orow.iter_mut().zip(rrow) {
-                *o += l * r;
-            }
-        }
-    }
-}
-
-/// Fans a lower-triangle kernel out over row bands of an `n x n` output,
-/// with band heights chosen so every band owns an equal share of the
-/// *triangular* work (row `i` costs `i + 1` multiply-adds, so uniform row
-/// counts would leave the last band with ~2× the average load and cap the
-/// speedup). Boundary `k` sits at `n·√(k/threads)` — equal area under the
-/// triangle per band. Execution goes through [`dfr_pool::par_parts_mut`],
-/// which keeps the pool's worker marking and nested-serial policy. The
-/// kernel receives `(first_row, band_slice)`; per-row computation is
-/// unchanged by the banding, so results stay bit-identical at every
-/// thread count.
-fn par_triangle_bands<F>(data: &mut [f64], n: usize, madds: usize, kernel: F)
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
+/// Fans the lower-triangle microkernel driver out over row bands of an
+/// `n x n` output, with band heights chosen so every band owns an equal
+/// share of the *triangular* work (row `i` costs `i + 1` multiply-adds, so
+/// uniform row counts would leave the last band with ~2× the average load
+/// and cap the speedup). Boundary `t` sits at `n·√(t/threads)` — equal
+/// area under the triangle per band — rounded to a multiple of
+/// [`gemm::MR`] so bands align with A panels. Execution goes through
+/// [`dfr_pool::par_parts_mut`], which keeps the pool's worker marking and
+/// nested-serial policy; per-element computation is unchanged by the
+/// banding, so results stay bit-identical at every thread count.
+fn drive_triangle_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds: usize) {
+    let n = out.rows();
     let threads = if madds < PAR_MIN_MADDS {
         1
     } else {
-        dfr_pool::max_threads().clamp(1, n)
+        dfr_pool::max_threads().clamp(1, n.div_ceil(MR))
     };
     if threads <= 1 {
-        kernel(0, data);
+        gemm::gemm_band_lower(out.data.as_mut_slice(), 0, n, k, a_pack, b_pack);
         return;
     }
     let mut bounds: Vec<usize> = (0..=threads)
-        .map(|k| ((n as f64) * (k as f64 / threads as f64).sqrt()).round() as usize)
+        .map(|t| {
+            let raw = (n as f64) * (t as f64 / threads as f64).sqrt();
+            ((raw.round() as usize).next_multiple_of(MR)).min(n)
+        })
         .collect();
+    bounds[0] = 0;
     bounds[threads] = n; // rounding guard: the last band must end at n
+    for t in 1..threads {
+        bounds[t] = bounds[t].max(bounds[t - 1]); // keep bounds monotone
+    }
     let part_lens: Vec<usize> = bounds.windows(2).map(|w| (w[1] - w[0]) * n).collect();
-    dfr_pool::par_parts_mut(data, &part_lens, |b, band| kernel(bounds[b], band));
+    dfr_pool::par_parts_mut(out.data.as_mut_slice(), &part_lens, |b, band| {
+        gemm::gemm_band_lower(band, bounds[b], n, k, a_pack, b_pack)
+    });
 }
 
 /// Copies the strict lower triangle of a square matrix into the upper.

@@ -8,6 +8,7 @@
 //! the number of training samples, so the dual form is the fast path.
 
 use crate::cholesky::Cholesky;
+use crate::gemm::GemmWorkspace;
 use crate::{LinalgError, Matrix};
 
 /// Which formulation [`ridge_fit`] should use.
@@ -97,11 +98,23 @@ pub fn ridge_fit_with(
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RidgePlan<'a> {
     x: &'a Matrix,
     y: &'a Matrix,
     use_primal: bool,
+    scratch: Scratch<'a>,
+}
+
+/// Every reusable buffer of a [`RidgePlan`]: the pristine Gram system, the
+/// per-solve scratch and the GEMM packing workspace.
+///
+/// Owning one and preparing plans through [`RidgePlan::with_mode_in`]
+/// recycles all of it across plans — grid search fits a fresh readout for
+/// thousands of `(A, B)` cells against same-shaped systems, so per-worker
+/// scratch turns the whole sweep allocation-free after the first cell.
+#[derive(Debug, Clone, Default)]
+pub struct RidgeScratch {
     /// Pristine Gram matrix (no `βI`): `XᵀX` (primal) or `XXᵀ` (dual).
     gram: Matrix,
     /// Primal right-hand side `XᵀY`, computed once; unused in dual form.
@@ -112,6 +125,33 @@ pub struct RidgePlan<'a> {
     chol: Cholesky,
     /// Dual scratch `(XXᵀ + βI)⁻¹ Y`.
     alpha: Matrix,
+    /// Panel-packing buffers for the Gram build and the dual
+    /// back-substitution product.
+    gemm: GemmWorkspace,
+}
+
+impl RidgeScratch {
+    /// Empty scratch; every buffer is sized lazily on first use.
+    pub fn new() -> Self {
+        RidgeScratch::default()
+    }
+}
+
+/// Plan scratch is either owned (the drop-in [`RidgePlan::new`] path) or
+/// borrowed from a caller who reuses it across plans.
+#[derive(Debug)]
+enum Scratch<'a> {
+    Owned(Box<RidgeScratch>),
+    Borrowed(&'a mut RidgeScratch),
+}
+
+impl Scratch<'_> {
+    fn get(&mut self) -> &mut RidgeScratch {
+        match self {
+            Scratch::Owned(s) => s,
+            Scratch::Borrowed(s) => s,
+        }
+    }
 }
 
 impl<'a> RidgePlan<'a> {
@@ -125,12 +165,39 @@ impl<'a> RidgePlan<'a> {
         RidgePlan::with_mode(x, y, RidgeMode::Auto)
     }
 
-    /// Prepares a plan with an explicit [`RidgeMode`].
+    /// Prepares a plan with an explicit [`RidgeMode`], using plan-owned
+    /// scratch buffers.
     ///
     /// # Errors
     ///
     /// Same as [`RidgePlan::new`].
     pub fn with_mode(x: &'a Matrix, y: &'a Matrix, mode: RidgeMode) -> Result<Self, LinalgError> {
+        RidgePlan::build(x, y, mode, Scratch::Owned(Box::default()))
+    }
+
+    /// Prepares a plan against **caller-owned scratch**, recycling its
+    /// buffers (Gram, factorisation, packing panels) from any previous
+    /// plan. Results are bitwise identical to [`RidgePlan::with_mode`] —
+    /// scratch history never leaks into outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RidgePlan::new`].
+    pub fn with_mode_in(
+        x: &'a Matrix,
+        y: &'a Matrix,
+        mode: RidgeMode,
+        scratch: &'a mut RidgeScratch,
+    ) -> Result<Self, LinalgError> {
+        RidgePlan::build(x, y, mode, Scratch::Borrowed(scratch))
+    }
+
+    fn build(
+        x: &'a Matrix,
+        y: &'a Matrix,
+        mode: RidgeMode,
+        mut scratch: Scratch<'a>,
+    ) -> Result<Self, LinalgError> {
         if x.rows() != y.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "ridge_fit",
@@ -146,22 +213,21 @@ impl<'a> RidgePlan<'a> {
             RidgeMode::Dual => false,
             RidgeMode::Auto => x.cols() <= x.rows(),
         };
-        let (gram, rhs) = if use_primal {
-            // (XᵀX + βI) W = Xᵀ Y — the parallel Gram kernel builds XᵀX.
-            (x.gram_t(), x.t_matmul(y)?)
+        let s = scratch.get();
+        if use_primal {
+            // (XᵀX + βI) W = Xᵀ Y — the microkernel Gram builds XᵀX.
+            x.gram_t_into_ws(&mut s.gram, &mut s.gemm);
+            x.t_matmul_into_ws(y, &mut s.rhs, &mut s.gemm)?;
         } else {
-            // W = Xᵀ (XXᵀ + βI)⁻¹ Y — the parallel Gram kernel builds XXᵀ.
-            (x.gram(), Matrix::zeros(0, 0))
-        };
+            // W = Xᵀ (XXᵀ + βI)⁻¹ Y — the microkernel Gram builds XXᵀ.
+            x.gram_into_ws(&mut s.gram, &mut s.gemm);
+            s.rhs.resize(0, 0);
+        }
         Ok(RidgePlan {
             x,
             y,
             use_primal,
-            gram,
-            rhs,
-            sys: Matrix::zeros(0, 0),
-            chol: Cholesky::empty(),
-            alpha: Matrix::zeros(0, 0),
+            scratch,
         })
     }
 
@@ -189,16 +255,25 @@ impl<'a> RidgePlan<'a> {
     ///
     /// Same as [`RidgePlan::solve`].
     pub fn solve_into(&mut self, beta: f64, w: &mut Matrix) -> Result<(), LinalgError> {
-        self.sys.copy_from(&self.gram);
-        for i in 0..self.sys.rows() {
-            self.sys[(i, i)] += beta;
+        let use_primal = self.use_primal;
+        let RidgeScratch {
+            gram,
+            rhs,
+            sys,
+            chol,
+            alpha,
+            gemm,
+        } = self.scratch.get();
+        sys.copy_from(gram);
+        for i in 0..sys.rows() {
+            sys[(i, i)] += beta;
         }
-        Cholesky::factor_into(&self.sys, &mut self.chol)?;
-        if self.use_primal {
-            self.chol.solve_into(&self.rhs, w)
+        Cholesky::factor_into(sys, chol)?;
+        if use_primal {
+            chol.solve_into(rhs, w)
         } else {
-            self.chol.solve_into(self.y, &mut self.alpha)?;
-            self.x.t_matmul_into(&self.alpha, w)
+            chol.solve_into(self.y, alpha)?;
+            self.x.t_matmul_into_ws(alpha, w, gemm)
         }
     }
 }
@@ -236,15 +311,23 @@ pub fn ridge_fit_intercept(
 /// β-sweep callers can build the augmented matrix once and reuse it with a
 /// [`RidgePlan`].
 pub fn augment_ones(x: &Matrix) -> Matrix {
+    let mut aug = Matrix::zeros(0, 0);
+    augment_ones_into(x, &mut aug);
+    aug
+}
+
+/// [`augment_ones`] writing into a caller-owned matrix (resized to
+/// `n x (p + 1)`, allocation reused) — the buffer-recycling form sweep
+/// callers pair with [`RidgePlan::with_mode_in`].
+pub fn augment_ones_into(x: &Matrix, out: &mut Matrix) {
     let n = x.rows();
     let p = x.cols();
-    let mut aug = Matrix::zeros(n, p + 1);
+    out.resize(n, p + 1);
     for i in 0..n {
-        let row = aug.row_mut(i);
+        let row = out.row_mut(i);
         row[..p].copy_from_slice(x.row(i));
         row[p] = 1.0;
     }
-    aug
 }
 
 /// Mean squared error between predictions `X W` and targets `Y`,

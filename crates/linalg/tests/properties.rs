@@ -2,14 +2,97 @@
 
 use dfr_linalg::activation::{cross_entropy_from_logits, log_sum_exp, softmax};
 use dfr_linalg::cholesky::Cholesky;
+use dfr_linalg::gemm::{K_BLOCK, MR, NR};
 use dfr_linalg::ridge::{ridge_fit_with, RidgeMode, RidgePlan};
-use dfr_linalg::{dot, Matrix};
+use dfr_linalg::{dot, GemmWorkspace, Matrix};
 use proptest::prelude::*;
 
 /// Strategy for a matrix of the given shape with bounded entries.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0_f64..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized correctly"))
+}
+
+/// Deterministic dense fill, distinct per shape/seed, no exact zeros.
+fn filled(rows: usize, cols: usize, seed: f64) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| (i as f64 * 0.7310 + seed).sin() + 0.01)
+            .collect(),
+    )
+    .expect("sized correctly")
+}
+
+/// The naive reference product `A · B`: `i-k-j` loop, `k` ascending per
+/// output element, no blocking, no skips — the order every packed kernel
+/// must reproduce bit for bit.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k_dim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for k in 0..k_dim {
+            let av = a[(i, k)];
+            for j in 0..n {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: {g} vs {w}");
+    }
+}
+
+/// Satellite coverage for ragged register tiles: every output dim around
+/// the MR×NR tile (`1..=2·MR+1` × `1..=2·NR+1`) crossed with `k` around
+/// the packing block (`1, K_BLOCK−1, K_BLOCK, K_BLOCK+1`), all five
+/// product kernels, checked **bitwise** against the naive `i-k-j`
+/// reference through both the thread-local and the caller-owned workspace
+/// paths (one workspace recycled across every shape, proving stale
+/// packing state never leaks).
+#[test]
+fn packed_products_match_naive_reference_on_ragged_edges() {
+    let mut ws = GemmWorkspace::new();
+    let mut out = Matrix::zeros(0, 0);
+    for m in 1..=2 * MR + 1 {
+        for n in 1..=2 * NR + 1 {
+            for k in [1, K_BLOCK - 1, K_BLOCK, K_BLOCK + 1] {
+                let a = filled(m, k, 0.3);
+                let b = filled(k, n, 1.7);
+                let want = naive_matmul(&a, &b);
+                assert_bits_eq(&a.matmul(&b).unwrap(), &want, "matmul");
+                a.matmul_into_ws(&b, &mut out, &mut ws).unwrap();
+                assert_bits_eq(&out, &want, "matmul_into_ws");
+
+                let at = a.transpose();
+                at.t_matmul_into_ws(&b, &mut out, &mut ws).unwrap();
+                assert_bits_eq(&out, &want, "t_matmul_into_ws");
+
+                let bt = b.transpose();
+                a.matmul_t_into_ws(&bt, &mut out, &mut ws).unwrap();
+                assert_bits_eq(&out, &want, "matmul_t_into_ws");
+
+                // Gram kernels: square symmetric references. The naive
+                // reference computes only the lower triangle (dot per
+                // element for gram, k-ascending accumulation for gram_t)
+                // and mirrors — exactly the documented contract.
+                let x = filled(m, k, 2.9);
+                let want_gram = naive_matmul(&x, &x.transpose());
+                x.gram_into_ws(&mut out, &mut ws);
+                assert_bits_eq(&out, &want_gram, "gram_into_ws");
+
+                let want_gram_t = naive_matmul(&x.transpose(), &x);
+                x.gram_t_into_ws(&mut out, &mut ws);
+                assert_bits_eq(&out, &want_gram_t, "gram_t_into_ws");
+            }
+        }
+    }
 }
 
 proptest! {
@@ -143,9 +226,10 @@ proptest! {
     /// The execution-layer determinism contract (DESIGN.md §8): every
     /// parallel product is bit-identical to its serial result at thread
     /// counts 1, 2 and 8. Operands are sized past the serial threshold so
-    /// bands genuinely form.
+    /// bands genuinely form, with ragged dims (not multiples of MR/NR/
+    /// K_BLOCK) so MR-rounded bands and masked edge tiles are exercised.
     #[test]
-    fn products_bit_identical_across_thread_counts(a in matrix(80, 64), b in matrix(64, 80)) {
+    fn products_bit_identical_across_thread_counts(a in matrix(83, 69), b in matrix(69, 83)) {
         let serial = dfr_pool::with_threads(1, || (
             a.matmul(&b).unwrap(),
             a.t_matmul(&a).unwrap(),
@@ -162,6 +246,47 @@ proptest! {
                 a.gram_t(),
             ));
             prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+
+    /// The blocked right-looking Cholesky (NB-panel factor + microkernel
+    /// trailing update) is bitwise equal to the unblocked left-looking
+    /// reference, including the first-failing-pivot index, at sizes
+    /// spanning the panel boundary.
+    #[test]
+    fn blocked_cholesky_matches_unblocked_reference(seed in 0.0_f64..100.0) {
+        /// The pre-PR unblocked left-looking loop, kept as the reference.
+        fn reference_factor(a: &Matrix) -> Result<Matrix, ()> {
+            let n = a.rows();
+            let mut l = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let mut sum = a[(i, j)];
+                    for k in 0..j {
+                        sum -= l[(i, k)] * l[(j, k)];
+                    }
+                    if i == j {
+                        if sum <= 0.0 || !sum.is_finite() {
+                            return Err(());
+                        }
+                        l[(i, j)] = sum.sqrt();
+                    } else {
+                        l[(i, j)] = sum / l[(j, j)];
+                    }
+                }
+            }
+            Ok(l)
+        }
+        // 1 / NB−1 / NB / NB+1 / several panels with a ragged tail.
+        for n in [1usize, 31, 32, 33, 70, 101] {
+            let m = filled(n, n, seed);
+            let mut a = m.matmul_t(&m).unwrap();
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let want = reference_factor(&a).expect("SPD by construction");
+            let got = Cholesky::factor(&a).unwrap();
+            assert_bits_eq(got.factor_l(), &want, "cholesky factor");
         }
     }
 

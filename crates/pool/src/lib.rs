@@ -155,6 +155,27 @@ fn enter_worker() {
     WORKER_DEPTH.with(|c| c.set(c.get() + 1));
 }
 
+/// Marks the current thread as a pool worker for a lexical scope,
+/// unmarking on drop — used when the **calling** thread executes the first
+/// block of a parallel region inline instead of idling at the join. Inline
+/// execution must degrade nested regions to serial exactly like a spawned
+/// worker, or the caller's block would fan out again while the spawned
+/// workers run.
+struct WorkerMark;
+
+impl WorkerMark {
+    fn enter() -> Self {
+        enter_worker();
+        WorkerMark
+    }
+}
+
+impl Drop for WorkerMark {
+    fn drop(&mut self) {
+        WORKER_DEPTH.with(|c| c.set(c.get() - 1));
+    }
+}
+
 /// A scoped spawn handle; re-exported so callers can write
 /// `pool::scope(|s| { s.spawn(…); })` without importing `std::thread`.
 pub use std::thread::Scope;
@@ -246,10 +267,13 @@ where
     }
     let block = items.len().div_ceil(threads);
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    // Blocks 1.. go to spawned workers; the calling thread executes block 0
+    // itself instead of idling at the scope join — one fewer spawn per
+    // region and no runnable-but-parked caller competing for a core.
     scope(|s| {
-        for (b, (in_block, out_block)) in
-            items.chunks(block).zip(slots.chunks_mut(block)).enumerate()
-        {
+        let mut blocks = items.chunks(block).zip(slots.chunks_mut(block)).enumerate();
+        let first = blocks.next();
+        for (b, (in_block, out_block)) in blocks {
             let f = &f;
             let init = &init;
             s.spawn(move || {
@@ -260,6 +284,13 @@ where
                     *slot = Some(f(base + k, item, &mut ws));
                 }
             });
+        }
+        if let Some((_, (in_block, out_block))) = first {
+            let _mark = WorkerMark::enter();
+            let mut ws = init();
+            for (k, (item, slot)) in in_block.iter().zip(out_block.iter_mut()).enumerate() {
+                *slot = Some(f(k, item, &mut ws));
+            }
         }
     });
     slots
@@ -365,8 +396,12 @@ where
         return;
     }
     let per_worker = chunks.div_ceil(threads);
+    // As in `par_map_collect_with`, the caller executes the first block
+    // inline (marked as a worker) while the spawned workers run the rest.
     scope(|s| {
-        for (b, block) in data.chunks_mut(per_worker * chunk_len).enumerate() {
+        let mut blocks = data.chunks_mut(per_worker * chunk_len).enumerate();
+        let first = blocks.next();
+        for (b, block) in blocks {
             let f = &f;
             let init = &init;
             s.spawn(move || {
@@ -376,6 +411,13 @@ where
                     f(b * per_worker + k, chunk, &mut ws);
                 }
             });
+        }
+        if let Some((_, block)) = first {
+            let _mark = WorkerMark::enter();
+            let mut ws = init();
+            for (k, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                f(k, chunk, &mut ws);
+            }
         }
     });
 }
@@ -459,12 +501,19 @@ where
         }
         return;
     }
+    // The first non-empty part runs inline on the caller (marked as a
+    // worker) after the rest have been spawned.
     scope(|s| {
         let mut rest = data;
+        let mut first: Option<(usize, &mut [T])> = None;
         for (i, &len) in part_lens.iter().enumerate() {
             let (part, tail) = rest.split_at_mut(len);
             rest = tail;
             if part.is_empty() {
+                continue;
+            }
+            if first.is_none() {
+                first = Some((i, part));
                 continue;
             }
             let f = &f;
@@ -472,6 +521,10 @@ where
                 enter_worker();
                 f(i, part);
             });
+        }
+        if let Some((i, part)) = first {
+            let _mark = WorkerMark::enter();
+            f(i, part);
         }
     });
 }

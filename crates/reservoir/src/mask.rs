@@ -97,6 +97,11 @@ impl Mask {
     /// `T x N_x`, allocation reused) — the allocation-free form the
     /// reservoir's `run_into` path uses.
     ///
+    /// The product `J = U · Mᵀ` runs through the register-tiled GEMM
+    /// microkernel of [`dfr_linalg::gemm`] (per element a `k`-ascending
+    /// dot over the channels, bitwise equal to the row-by-row loop it
+    /// replaced).
+    ///
     /// # Panics
     ///
     /// Panics if `series.cols() != self.channels()`; the reservoir wrappers
@@ -110,17 +115,9 @@ impl Mask {
             self.channels(),
             series.cols()
         );
-        // j = U · Mᵀ, computed row by row.
-        let t = series.rows();
-        let nx = self.nodes();
-        out.resize(t, nx);
-        for k in 0..t {
-            let u = series.row(k);
-            let row = out.row_mut(k);
-            for (n, slot) in row.iter_mut().enumerate().take(nx) {
-                *slot = dfr_linalg::dot(self.matrix.row(n), u);
-            }
-        }
+        series
+            .matmul_t_into(&self.matrix, out)
+            .expect("channel count checked above");
     }
 }
 
