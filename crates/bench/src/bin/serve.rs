@@ -1,0 +1,180 @@
+//! Serving-throughput benchmark of the `dfr-serve` batch inference layer,
+//! feeding `results/BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin serve \
+//!     [-- --requests 512 --repeats 5 --threads 1,2,4]
+//! ```
+//!
+//! Trains the quickstart model once, freezes it, then serves the same
+//! ragged workload of `--requests` series through:
+//!
+//! * `naive_predict` — the pre-serve status quo: per-sample
+//!   [`DfrClassifier::predict`], which re-drives the training-shaped
+//!   forward pass with cold buffers on every call;
+//! * `predict_batch` at batch sizes {1, 8, 64, 256} and every requested
+//!   pool width, against one warm [`ServeState`].
+//!
+//! Before any timing is recorded, every configuration's predictions are
+//! asserted **equal to the per-sample oracle** — the file doubles as a
+//! bit-identity check on a realistic workload. `speedup_vs_batch1` is
+//! measured against `predict_batch` with `max_batch = 1` at one thread
+//! (the closest request-at-a-time serving shape). Speedups above ~1.1×
+//! require actual cores: the per-sample reservoir work dominates and
+//! parallel fan-out across the batch is where batching pays, so on a
+//! single-core host every width measures ≈ 1× and the JSON records that
+//! honestly (`available_cores` says what the host offered).
+//!
+//! [`DfrClassifier::predict`]: dfr_core::DfrClassifier::predict
+//! [`ServeState`]: dfr_serve::ServeState
+
+use dfr_bench::{json_array, json_f64, json_object, json_str, write_results, Args};
+use dfr_core::trainer::{train, TrainOptions};
+use dfr_data::DatasetSpec;
+use dfr_linalg::Matrix;
+use dfr_serve::{BatchPlan, FrozenModel, ServeState};
+use std::time::Instant;
+
+/// Mean wall-clock seconds of `f` over `repeats` runs (after one warm-up),
+/// plus the result of the last run for the bit-identity assert.
+fn time_mut<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut result = f(); // warm-up: serve-state buffers reach high water
+    let start = Instant::now();
+    for _ in 0..repeats {
+        result = f();
+    }
+    (start.elapsed().as_secs_f64() / repeats as f64, result)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let repeats = args.get_usize("repeats", 5).max(1);
+    let requests = args.get_usize("requests", 512).max(1);
+    let mut widths: Vec<usize> = args
+        .get("threads")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    if !widths.contains(&1) {
+        widths.insert(0, 1); // the batch-1 serial baseline needs width 1
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The quickstart model (same configuration the golden snapshot pins),
+    // trained once and frozen for serving.
+    let spec = DatasetSpec::new("quickstart", 3, 60, 2, 60, 60, 0.6);
+    let mut ds = spec.build(0);
+    dfr_data::normalize::standardize(&mut ds);
+    let model = train(&ds, &TrainOptions::calibrated())
+        .expect("quickstart trains")
+        .model;
+    let frozen = FrozenModel::freeze(&model);
+
+    // Ragged workload: lengths 20..=120 so batches mix short and long
+    // series, as real traffic would.
+    let series: Vec<Matrix> = (0..requests)
+        .map(|i| {
+            let t = 20 + (i * 37) % 101;
+            Matrix::from_vec(
+                t,
+                2,
+                (0..t * 2)
+                    .map(|k| (((k * 7 + i * 13) % 997) as f64 * 0.029).sin())
+                    .collect(),
+            )
+            .expect("sized")
+        })
+        .collect();
+
+    println!(
+        "serve — {requests} requests, {repeats} repeats, widths {widths:?} ({cores} cores available)"
+    );
+    let mut json_rows = Vec::new();
+    let mut record = |config: &str, max_batch: usize, threads: usize, mean: f64, speedup: f64| {
+        let per_request = mean / requests as f64;
+        println!(
+            "{config:<14} batch {max_batch:>3}  threads {threads}  {:>9.1} req/s  ({speedup:.2}x vs batch-1)",
+            1.0 / per_request.max(1e-12)
+        );
+        json_rows.push(json_object(&[
+            ("config", json_str(config)),
+            ("max_batch", max_batch.to_string()),
+            ("threads", threads.to_string()),
+            ("requests", requests.to_string()),
+            ("mean_ns_per_request", json_f64(per_request * 1e9)),
+            ("throughput_rps", json_f64(1.0 / per_request.max(1e-12))),
+            ("speedup_vs_batch1", json_f64(speedup)),
+            ("available_cores", cores.to_string()),
+        ]));
+    };
+
+    // Per-sample oracle and the naive (pre-serve) baseline, serial.
+    let (naive_mean, oracle) = dfr_pool::with_threads(1, || {
+        time_mut(repeats, || -> Vec<usize> {
+            series
+                .iter()
+                .map(|s| model.predict(s).expect("predict"))
+                .collect()
+        })
+    });
+
+    // Batch-1 single-thread baseline: request-at-a-time serving through
+    // the warm serve path.
+    let mut state = ServeState::new();
+    let serve_pass = |plan: &BatchPlan, state: &mut ServeState| -> Vec<usize> {
+        frozen
+            .predict_batch_into(&series, plan, state)
+            .expect("serve");
+        state.predictions().to_vec()
+    };
+    let plan1 = BatchPlan::new(1);
+    let (batch1_mean, batch1_preds) =
+        dfr_pool::with_threads(1, || time_mut(repeats, || serve_pass(&plan1, &mut state)));
+    assert_eq!(
+        batch1_preds, oracle,
+        "predict_batch (batch 1, serial) differs from per-sample predict"
+    );
+    record(
+        "naive_predict",
+        1,
+        1,
+        naive_mean,
+        batch1_mean / naive_mean.max(1e-12),
+    );
+    record("predict_batch", 1, 1, batch1_mean, 1.0);
+
+    let mut batch64_best = 0.0_f64;
+    for &max_batch in &[8usize, 64, 256] {
+        let plan = BatchPlan::new(max_batch);
+        for &threads in &widths {
+            let (mean, preds) = dfr_pool::with_threads(threads, || {
+                time_mut(repeats, || serve_pass(&plan, &mut state))
+            });
+            assert_eq!(
+                preds, oracle,
+                "predict_batch (batch {max_batch}, {threads} threads) differs from per-sample predict"
+            );
+            let speedup = batch1_mean / mean.max(1e-12);
+            record("predict_batch", max_batch, threads, mean, speedup);
+            if max_batch == 64 {
+                batch64_best = batch64_best.max(speedup);
+            }
+        }
+    }
+
+    let path = write_results("BENCH_serve.json", &json_array(&json_rows));
+    println!("\nwrote {}", path.display());
+    println!(
+        "batch-64 best speedup vs batch-1: {batch64_best:.2}x ({} target: >= 2x with >= 2 cores; this host offers {cores})",
+        if cores >= 2 { "hard" } else { "deferred" }
+    );
+    if args.has("require-speedup") {
+        let need = args.get_f64("require-speedup", 2.0);
+        assert!(
+            batch64_best >= need,
+            "batch-64 speedup {batch64_best:.2}x below required {need:.2}x"
+        );
+    }
+}

@@ -26,6 +26,7 @@ use dfr_core::workspace::TrainWorkspace;
 use dfr_core::DfrClassifier;
 use dfr_linalg::ridge::RidgePlan;
 use dfr_linalg::{GemmWorkspace, Matrix};
+use dfr_serve::{BatchPlan, FrozenModel, ServeState, ServeWorkspace};
 
 /// Forwards to the system allocator, counting every allocation made by a
 /// thread whose `COUNTING` flag is up. Deallocations are not counted:
@@ -207,6 +208,62 @@ fn packed_matmul_is_allocation_free_after_warmup() {
         assert_eq!(
             allocs, 0,
             "post-warm-up packed products must not allocate ({allocs} allocations in 10 rounds)"
+        );
+    });
+}
+
+#[test]
+fn predict_batch_is_allocation_free_after_warmup() {
+    // Serial region, as for the other pins: the pool spawns no threads, so
+    // any allocation counted below comes from the serving step itself.
+    dfr_pool::with_threads(1, || {
+        let (mut model, _, _) = model_and_series(20, 10);
+        // Dense readout so predictions exercise real arithmetic.
+        for j in 0..model.feature_dim() {
+            model.w_out_mut()[(j % 4, j)] = 0.015 * ((j % 9) as f64 - 4.0);
+        }
+        let frozen = FrozenModel::freeze(&model);
+        // Ragged workload, longest series first reached during warm-up.
+        let series: Vec<Matrix> = (0..48)
+            .map(|i| {
+                let t = 8 + (i * 13) % 90;
+                Matrix::from_vec(
+                    t,
+                    3,
+                    (0..t * 3).map(|k| ((k + i) as f64 * 0.21).sin()).collect(),
+                )
+                .expect("sized")
+            })
+            .collect();
+        let plan = BatchPlan::new(16);
+        let mut state = ServeState::new();
+        frozen
+            .predict_batch_into(&series, &plan, &mut state)
+            .expect("warm-up batch"); // buffers reach their high-water mark
+        let (allocs, ()) = count_allocs(|| {
+            for _ in 0..50 {
+                frozen
+                    .predict_batch_into(&series, &plan, &mut state)
+                    .expect("steady-state batch");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up predict_batch must not allocate ({allocs} allocations in 50 calls)"
+        );
+
+        // The per-sample serving form holds the same contract.
+        let mut ws = ServeWorkspace::new();
+        let longest = series.iter().max_by_key(|s| s.rows()).expect("non-empty");
+        frozen.predict_one(longest, &mut ws).expect("warm-up");
+        let (allocs, ()) = count_allocs(|| {
+            for s in &series {
+                frozen.predict_one(s, &mut ws).expect("steady-state");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up predict_one must not allocate ({allocs} allocations)"
         );
     });
 }

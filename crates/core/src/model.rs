@@ -280,15 +280,77 @@ impl<N: Nonlinearity + Clone> DfrClassifier<N> {
 
     /// Predicted class for a series.
     ///
+    /// The whole pass runs on the frozen-parameter kernels the serving
+    /// layer (`dfr-serve`) uses — the mask product, the stateless
+    /// recurrence ([`dfr_reservoir::modular::run_frozen_into`]), the DPRR
+    /// reduction and the fused readout epilogue — so a frozen copy of this
+    /// model predicts **bitwise identically**, per sample or batched.
+    ///
     /// # Errors
     ///
     /// Propagates reservoir errors.
     pub fn predict(&self, series: &Matrix) -> Result<usize, CoreError> {
         Ok(self.forward(series)?.prediction())
     }
+
+    /// [`DfrClassifier::predict`] recycling a caller-owned cache — the
+    /// allocation-free per-sample serving form (bitwise identical to
+    /// [`DfrClassifier::predict`]). The probabilities stay readable in
+    /// `cache.probs` after the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservoir errors; on error the cache contents are
+    /// unspecified.
+    pub fn predict_into(
+        &self,
+        series: &Matrix,
+        cache: &mut ForwardCache,
+    ) -> Result<usize, CoreError> {
+        self.forward_into(series, cache)?;
+        Ok(cache.prediction())
+    }
 }
 
 impl DfrClassifier<Linear> {
+    /// Rebuilds a linear-`f` classifier from exported parameters — the
+    /// thaw half of the freeze/serve round trip (`dfr-serve` extracts
+    /// `(mask, A, B, w_out, bias)` into a `FrozenModel` and this
+    /// reconstructs an equivalent trainable classifier from them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Reservoir`] for non-finite `a`/`b` and
+    /// [`CoreError::InvalidConfig`] if `w_out`/`bias` do not match the
+    /// `N_y × N_x (N_x + 1)` readout shape the mask implies.
+    pub fn from_parts(
+        mask: Matrix,
+        a: f64,
+        b: f64,
+        w_out: Matrix,
+        bias: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        let reservoir = ModularDfr::linear(Mask::from_matrix(mask), a, b)?;
+        let nr = Dprr.dim(reservoir.nodes());
+        if w_out.cols() != nr || w_out.rows() != bias.len() {
+            return Err(CoreError::InvalidConfig {
+                field: "readout",
+                detail: format!(
+                    "expected {}x{nr} weights with matching bias, got {}x{} and {} biases",
+                    bias.len(),
+                    w_out.rows(),
+                    w_out.cols(),
+                    bias.len()
+                ),
+            });
+        }
+        Ok(DfrClassifier {
+            reservoir,
+            w_out,
+            bias,
+        })
+    }
+
     /// Builds the paper's evaluation configuration: linear `f`, binary mask,
     /// `[A, B] = [0.01, 0.01]`, zero readout.
     ///
@@ -379,5 +441,53 @@ mod tests {
     fn predict_channel_mismatch_errors() {
         let m = model();
         assert!(m.predict(&Matrix::zeros(5, 3)).is_err());
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let mut m = model();
+        m.w_out_mut().as_mut_slice()[5] = 0.3;
+        let mut cache = ForwardCache::empty();
+        for t in [7usize, 3, 9] {
+            let series = Matrix::filled(t, 2, 0.4);
+            let via_into = m.predict_into(&series, &mut cache).unwrap();
+            let owning = m.forward(&series).unwrap();
+            assert_eq!(via_into, owning.prediction());
+            assert_eq!(cache.probs, owning.probs);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut m = model();
+        m.reservoir_mut().set_params(0.07, 0.2).unwrap();
+        m.w_out_mut().as_mut_slice()[11] = -0.4;
+        m.bias_mut()[2] = 0.3;
+        let rebuilt = DfrClassifier::from_parts(
+            m.reservoir().mask().matrix().clone(),
+            m.reservoir().a(),
+            m.reservoir().b(),
+            m.w_out().clone(),
+            m.bias().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+        // Shape mismatches are rejected.
+        assert!(DfrClassifier::from_parts(
+            m.reservoir().mask().matrix().clone(),
+            0.1,
+            0.1,
+            Matrix::zeros(3, 19),
+            vec![0.0; 3],
+        )
+        .is_err());
+        assert!(DfrClassifier::from_parts(
+            m.reservoir().mask().matrix().clone(),
+            f64::NAN,
+            0.1,
+            Matrix::zeros(3, 20),
+            vec![0.0; 3],
+        )
+        .is_err());
     }
 }

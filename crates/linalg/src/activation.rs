@@ -99,6 +99,51 @@ pub fn dense_bias_softmax_into(
     Ok(())
 }
 
+/// The batched readout epilogue: `probs.row(i) = softmax(w·x.row(i) + bias)`
+/// for a whole `n × k` batch of feature rows, with the pre-activations left
+/// in `logits` (both resized to `n × w.rows()`, allocations reused).
+///
+/// The dense half runs as **one** `x · wᵀ` product through the register-
+/// tiled GEMM microkernel ([`crate::Matrix::matmul_t_into_ws`]) instead of
+/// `n` separate matvecs — the batch amortises the packing of `w` across
+/// every row. Per output element the accumulation is still a `k`-ascending
+/// dot followed by one bias add and the same stable softmax, so every row
+/// is **bitwise identical** to a per-sample [`dense_bias_softmax_into`]
+/// call on that row. This is the serving layer's batch hot path.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if `x.cols() != w.cols()` or
+/// `bias.len() != w.rows()`.
+pub fn dense_bias_softmax_rows_into(
+    w: &Matrix,
+    x: &Matrix,
+    bias: &[f64],
+    logits: &mut Matrix,
+    probs: &mut Matrix,
+    ws: &mut crate::GemmWorkspace,
+) -> Result<(), LinalgError> {
+    if bias.len() != w.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dense_bias_softmax_rows",
+            lhs: w.shape(),
+            rhs: (bias.len(), 1),
+        });
+    }
+    x.matmul_t_into_ws(w, logits, ws)?;
+    probs.resize(x.rows(), w.rows());
+    for i in 0..logits.rows() {
+        let row = logits.row_mut(i);
+        for (l, &b) in row.iter_mut().zip(bias) {
+            *l += b;
+        }
+    }
+    for i in 0..logits.rows() {
+        softmax_into(logits.row(i), probs.row_mut(i));
+    }
+    Ok(())
+}
+
 /// Cross-entropy loss `−Σ_k d_k log y_k` between a probability vector `y`
 /// and a target distribution `d` (usually one-hot), paper Eq. 15.
 ///
@@ -214,6 +259,45 @@ mod tests {
         let mut g = [9.0; 4];
         softmax_cross_entropy_grad_into(&p, &d, &mut g);
         assert_eq!(g.to_vec(), softmax_cross_entropy_grad(&p, &d));
+    }
+
+    #[test]
+    fn batched_epilogue_matches_per_sample_bitwise() {
+        let w =
+            Matrix::from_vec(3, 7, (0..21).map(|i| ((i as f64) * 0.31).sin()).collect()).unwrap();
+        let bias = [0.2, -0.4, 0.05];
+        // Ragged-ish batch: n not a multiple of any tile size.
+        let x =
+            Matrix::from_vec(5, 7, (0..35).map(|i| ((i as f64) * 0.17).cos()).collect()).unwrap();
+        let mut logits = Matrix::zeros(0, 0);
+        let mut probs = Matrix::filled(9, 9, 3.0); // stale buffer reuse
+        let mut ws = crate::GemmWorkspace::new();
+        dense_bias_softmax_rows_into(&w, &x, &bias, &mut logits, &mut probs, &mut ws).unwrap();
+        assert_eq!(logits.shape(), (5, 3));
+        assert_eq!(probs.shape(), (5, 3));
+        let mut l = [0.0; 3];
+        let mut p = [0.0; 3];
+        for i in 0..5 {
+            dense_bias_softmax_into(&w, x.row(i), &bias, &mut l, &mut p).unwrap();
+            for j in 0..3 {
+                assert_eq!(logits[(i, j)].to_bits(), l[j].to_bits(), "logit ({i},{j})");
+                assert_eq!(probs[(i, j)].to_bits(), p[j].to_bits(), "prob ({i},{j})");
+            }
+        }
+        // Shape errors are reported, not panicked.
+        assert!(dense_bias_softmax_rows_into(
+            &w,
+            &Matrix::zeros(2, 6),
+            &bias,
+            &mut logits,
+            &mut probs,
+            &mut ws
+        )
+        .is_err());
+        assert!(
+            dense_bias_softmax_rows_into(&w, &x, &[0.0; 2], &mut logits, &mut probs, &mut ws)
+                .is_err()
+        );
     }
 
     #[test]

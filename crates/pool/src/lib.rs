@@ -529,6 +529,167 @@ where
     });
 }
 
+/// Fallible [`par_parts_mut`] with **caller-owned per-part state**: part
+/// `i` of `data` is processed as `f(i, part, &mut states[i])`, each part on
+/// its own worker (the first non-empty part inline on the caller). Errors
+/// follow the lowest-part-index contract of [`par_try_map_collect`].
+///
+/// This is the batch fan-out primitive of the serving layer: unlike the
+/// `_with` variants, whose `init` closure rebuilds scratch at every
+/// parallel region, the states here live in the **caller** and survive
+/// across calls — a warm `predict_batch` re-enters with every per-worker
+/// buffer already at its high-water mark, so the steady state allocates
+/// nothing. The caller fixes the part split deterministically; conforming
+/// kernels (each element's result independent of the split and of state
+/// history) stay bit-identical at every thread count.
+///
+/// # Errors
+///
+/// The error produced by `f` at the lowest failing part index.
+///
+/// # Panics
+///
+/// Panics if `part_lens` does not sum to exactly `data.len()` or if
+/// `states` has fewer entries than `part_lens`.
+///
+/// # Example
+///
+/// ```
+/// let mut data = [0u32; 5];
+/// let mut states = vec![10u32, 20];
+/// let r: Result<(), ()> = dfr_pool::par_try_parts_zip_mut(
+///     &mut data,
+///     &[2, 3],
+///     &mut states,
+///     |i, part, s| {
+///         *s += 1; // persistent: the caller sees the bump after the call
+///         part.fill(i as u32);
+///         Ok(())
+///     },
+/// );
+/// assert!(r.is_ok());
+/// assert_eq!(data, [0, 0, 1, 1, 1]);
+/// assert_eq!(states, vec![11, 21]);
+/// ```
+pub fn par_try_parts_zip_mut<T, S, E, F>(
+    data: &mut [T],
+    part_lens: &[usize],
+    states: &mut [S],
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    S: Send,
+    E: Send,
+    F: Fn(usize, &mut [T], &mut S) -> Result<(), E> + Sync,
+{
+    assert_eq!(
+        part_lens.iter().sum::<usize>(),
+        data.len(),
+        "par_try_parts_zip_mut: part lengths must cover the data exactly"
+    );
+    assert!(
+        states.len() >= part_lens.len(),
+        "par_try_parts_zip_mut: need one state per part"
+    );
+    let parts = part_lens.iter().filter(|&&l| l > 0).count();
+    let threads = fan_out(parts);
+    if threads <= 1 {
+        let mut rest = data;
+        let mut result: Result<(), E> = Ok(());
+        for ((i, &len), state) in part_lens.iter().enumerate().zip(states.iter_mut()) {
+            let (part, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if part.is_empty() {
+                continue;
+            }
+            if let Err(e) = f(i, part, state) {
+                if result.is_ok() {
+                    result = Err(e);
+                }
+            }
+        }
+        return result;
+    }
+    let failures: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    // The first non-empty part runs inline on the caller (marked as a
+    // worker) after the rest have been spawned — same policy as
+    // `par_parts_mut`.
+    scope(|s| {
+        let mut rest = data;
+        let mut states_rest = states;
+        let mut first: Option<(usize, &mut [T], &mut S)> = None;
+        for (i, &len) in part_lens.iter().enumerate() {
+            let (part, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let (state, states_tail) = states_rest.split_first_mut().expect("state per part");
+            states_rest = states_tail;
+            if part.is_empty() {
+                continue;
+            }
+            if first.is_none() {
+                first = Some((i, part, state));
+                continue;
+            }
+            let f = &f;
+            let failures = &failures;
+            s.spawn(move || {
+                enter_worker();
+                if let Err(e) = f(i, part, state) {
+                    failures
+                        .lock()
+                        .expect("failure registry poisoned")
+                        .push((i, e));
+                }
+            });
+        }
+        if let Some((i, part, state)) = first {
+            let _mark = WorkerMark::enter();
+            if let Err(e) = f(i, part, state) {
+                failures
+                    .lock()
+                    .expect("failure registry poisoned")
+                    .push((i, e));
+            }
+        }
+    });
+    let mut failures = failures.into_inner().expect("failure registry poisoned");
+    failures.sort_by_key(|(i, _)| *i);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Splits `total` items into the contiguous per-worker band lengths a
+/// `width`-way fan-out would use (first `total % width` bands one longer),
+/// written into `lens` (cleared and refilled, allocation reused at its
+/// high-water mark).
+///
+/// The split depends only on `(total, width)` — callers that pin `width`
+/// get a reproducible banding, and conforming kernels are bit-identical
+/// across any banding anyway.
+///
+/// # Example
+///
+/// ```
+/// let mut lens = Vec::new();
+/// dfr_pool::band_lens_into(10, 4, &mut lens);
+/// assert_eq!(lens, vec![3, 3, 2, 2]);
+/// ```
+pub fn band_lens_into(total: usize, width: usize, lens: &mut Vec<usize>) {
+    lens.clear();
+    if total == 0 {
+        return;
+    }
+    let width = width.clamp(1, total);
+    let base = total / width;
+    let extra = total % width;
+    for b in 0..width {
+        lens.push(base + usize::from(b < extra));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,6 +908,95 @@ mod tests {
         );
         assert!(r.is_ok());
         assert!(ok.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn parts_zip_mut_persists_states_across_calls() {
+        for threads in [1usize, 2, 8] {
+            let mut data = vec![0u32; 21];
+            let mut states = vec![0u32; 3];
+            for round in 1..=3u32 {
+                let r: Result<(), ()> = with_threads(threads, || {
+                    par_try_parts_zip_mut(&mut data, &[7, 7, 7], &mut states, |pi, part, s| {
+                        *s += 1; // caller-owned: accumulates across calls
+                        for v in part.iter_mut() {
+                            *v = pi as u32 * 100 + *s;
+                        }
+                        Ok(())
+                    })
+                });
+                assert!(r.is_ok());
+                assert!(
+                    states.iter().all(|&s| s == round),
+                    "threads={threads} round={round} states={states:?}"
+                );
+            }
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, (i / 7) as u32 * 100 + 3, "threads={threads} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parts_zip_mut_reports_lowest_part_error() {
+        for threads in [1usize, 4] {
+            let mut data = vec![0u32; 12];
+            let mut states = vec![(); 4];
+            let r: Result<(), usize> = with_threads(threads, || {
+                par_try_parts_zip_mut(&mut data, &[3, 3, 3, 3], &mut states, |pi, part, ()| {
+                    if pi % 2 == 1 {
+                        return Err(pi);
+                    }
+                    part.fill(9);
+                    Ok(())
+                })
+            });
+            assert_eq!(r.unwrap_err(), 1, "threads={threads}");
+            assert_eq!(data[0], 9); // successful parts still written
+        }
+    }
+
+    #[test]
+    fn parts_zip_mut_skips_empty_parts_keeping_state_alignment() {
+        let mut data = vec![0u32; 4];
+        let mut states = vec![0u32; 3];
+        let r: Result<(), ()> = with_threads(8, || {
+            par_try_parts_zip_mut(&mut data, &[2, 0, 2], &mut states, |pi, part, s| {
+                *s = pi as u32 + 1;
+                part.fill(pi as u32);
+                Ok(())
+            })
+        });
+        assert!(r.is_ok());
+        assert_eq!(states, vec![1, 0, 3]); // part 1 empty → state 1 untouched
+        assert_eq!(data, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state per part")]
+    fn parts_zip_mut_rejects_missing_states() {
+        let mut data = vec![0u32; 4];
+        let mut states = vec![(); 1];
+        let _: Result<(), ()> =
+            par_try_parts_zip_mut(&mut data, &[2, 2], &mut states, |_, _, _| Ok(()));
+    }
+
+    #[test]
+    fn band_lens_cover_and_balance() {
+        let mut lens = Vec::new();
+        for total in [0usize, 1, 7, 10, 64, 65] {
+            for width in [1usize, 2, 4, 8, 100] {
+                band_lens_into(total, width, &mut lens);
+                assert_eq!(lens.iter().sum::<usize>(), total, "{total}/{width}");
+                if total > 0 {
+                    assert_eq!(lens.len(), width.clamp(1, total));
+                    let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(hi - lo <= 1, "{total}/{width}: {lens:?}");
+                }
+            }
+        }
+        band_lens_into(10, 4, &mut lens);
+        assert_eq!(lens, vec![3, 3, 2, 2]);
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //! * [`Strategy::prop_map`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
-//! Unlike real proptest this runner does **no shrinking** and no failure
-//! persistence: each test runs `cases` random inputs from a seed derived
-//! from the test name (so runs are reproducible) and panics on the first
-//! failing case, printing the case number.
+//! Like real proptest, the runner **shrinks** failures: on the first
+//! failing case it binary-searches scalar inputs toward their range start
+//! and shrinks vectors by halving the length, then dropping one element,
+//! then shrinking element-wise — re-running the property after every
+//! candidate and keeping only candidates that still fail. The minimal
+//! failing case is printed and embedded in the final panic message. Each
+//! test runs `cases` random inputs from a seed derived from the test name
+//! (so runs are reproducible). Unlike real proptest there is no failure
+//! persistence file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +78,55 @@ impl TestRng {
     }
 }
 
+thread_local! {
+    /// Whether the *current thread* is inside a shrink search (its
+    /// expected candidate panics are muted; every other thread keeps its
+    /// diagnostics).
+    static MUTE_SHRINK_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Mutes panic-hook output for the current thread while a shrink search
+/// re-runs a failing property against thousands of candidates (most of
+/// which panic — that is the point). Public because the [`proptest!`]
+/// expansion calls it from downstream crates; not part of the mirrored
+/// proptest API.
+///
+/// The first engage installs — once per process, never removed — a
+/// delegating hook that forwards to the previously installed hook unless
+/// the panicking thread has muted itself. Muting is strictly
+/// **thread-local**: an unrelated test failing concurrently on another
+/// harness thread keeps its full panic message, and concurrent shrink
+/// searches cannot race on hook installation (no take/restore sequence to
+/// interleave).
+#[doc(hidden)]
+pub struct __ShrinkMuteGuard(());
+
+impl __ShrinkMuteGuard {
+    /// Starts muting this thread's panics until the guard drops.
+    pub fn engage() -> Self {
+        static INSTALL: std::sync::Once = std::sync::Once::new();
+        INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let muted = MUTE_SHRINK_PANICS
+                    .try_with(std::cell::Cell::get)
+                    .unwrap_or(false);
+                if !muted {
+                    prev(info);
+                }
+            }));
+        });
+        MUTE_SHRINK_PANICS.with(|c| c.set(true));
+        __ShrinkMuteGuard(())
+    }
+}
+
+impl Drop for __ShrinkMuteGuard {
+    fn drop(&mut self) {
+        MUTE_SHRINK_PANICS.with(|c| c.set(false));
+    }
+}
+
 /// A source of random values of one type.
 pub trait Strategy {
     /// The type of value this strategy produces.
@@ -80,6 +134,16 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, **most aggressive
+    /// first** (the runner adopts the first candidate that still fails and
+    /// asks again, so ordering `[range start, midpoint]` yields a binary
+    /// search toward the range start). An empty list means the value is
+    /// already minimal — the default for strategies that cannot shrink
+    /// (e.g. [`Strategy::prop_map`], whose mapping cannot be inverted).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`, mirroring proptest's combinator.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -111,6 +175,18 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         rng.uniform_f64(self.start, self.end)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = 0.5 * (self.start + *value);
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! uint_strategy_impls {
@@ -121,6 +197,24 @@ macro_rules! uint_strategy_impls {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.uniform_u64(self.start as u64, self.end as u64) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    // Last-resort single step: guarantees the fixpoint is
+                    // exactly the boundary value (its predecessor passes).
+                    let pred = *value - 1;
+                    if pred != self.start && pred != mid {
+                        out.push(pred);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -128,7 +222,7 @@ macro_rules! uint_strategy_impls {
 uint_strategy_impls!(usize, u64, u32);
 
 macro_rules! sint_strategy_impls {
-    ($($t:ty => $u:ty),*) => {$(
+    ($($t:ty => $u:ty, $wide:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
 
@@ -140,11 +234,30 @@ macro_rules! sint_strategy_impls {
                 let v = rng.uniform_u64(lo as u64, hi as u64) as $u;
                 (v ^ (1 << (<$u>::BITS - 1))) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    // Widened midpoint: `start + value` may overflow $t.
+                    let mid = ((self.start as $wide + *value as $wide) / 2) as $t;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    // Last-resort single step: guarantees the fixpoint is
+                    // exactly the boundary value (its predecessor passes).
+                    let pred = *value - 1;
+                    if pred != self.start && pred != mid {
+                        out.push(pred);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
-sint_strategy_impls!(i64 => u64, i32 => u32);
+sint_strategy_impls!(i64 => u64, i128, i32 => u32, i64);
 
 /// Strategies over `bool` (the `proptest::bool` module subset).
 pub mod bool {
@@ -163,6 +276,14 @@ pub mod bool {
         fn sample(&self, rng: &mut TestRng) -> bool {
             // uniform_u64 samples the half-open [lo, hi).
             rng.uniform_u64(0, 2) == 1
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -210,7 +331,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -226,12 +347,38 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.uniform_u64(self.size.lo as u64, self.size.hi_exclusive as u64) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length first: halve toward the minimum size, then drop one
+            // element — the runner keeps whichever still fails and asks
+            // again, so lengths binary-search down and finish stepwise.
+            if value.len() > self.size.lo {
+                let half = (value.len() / 2).max(self.size.lo);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise, via the element strategy's own shrinker.
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v) {
+                    let mut shrunk = value.clone();
+                    shrunk[i] = candidate;
+                    out.push(shrunk);
+                }
+            }
+            out
         }
     }
 }
@@ -261,7 +408,13 @@ macro_rules! prop_assert_eq {
 }
 
 /// Defines property tests: each `fn name(arg in strategy, …) { body }`
-/// becomes a `#[test]` running the body over random cases.
+/// becomes a `#[test]` running the body over random cases. On the first
+/// failing case the inputs are **shrunk** — scalars binary-search toward
+/// their range start, vectors halve then shrink element-wise, one argument
+/// at a time until no candidate fails any more — re-running the property at
+/// every step; the minimal failing case is printed and embedded in the
+/// panic message. Argument values must be `Clone + Debug` (every strategy
+/// in this stand-in produces such values).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -290,14 +443,83 @@ macro_rules! proptest {
                     module_path!(), "::", stringify!($name)
                 ));
                 for case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
-                    let run = || $body;
-                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    $(let $arg = ::std::cell::RefCell::new(
+                        $crate::Strategy::sample(&$strat, &mut rng)
+                    );)+
+                    // Clones the current argument values and runs the body,
+                    // reporting whether it failed. The clones happen before
+                    // the unwind boundary so a panicking body can never
+                    // poison a `RefCell` borrow.
+                    let check = || -> bool {
+                        $(
+                            #[allow(clippy::clone_on_copy, clippy::redundant_clone)]
+                            let $arg = ::std::clone::Clone::clone(&*$arg.borrow());
+                        )+
+                        ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(move || $body)
+                        ).is_err()
+                    };
+                    if check() {
                         eprintln!(
-                            "proptest: property {} failed at case {}/{} (no shrinking in offline runner)",
+                            "proptest: property {} failed at case {}/{}; shrinking …",
                             stringify!($name), case + 1, config.cases
                         );
-                        ::std::panic::resume_unwind(panic);
+                        // Every shrink candidate re-runs the property, and
+                        // most candidates fail (that is the point) — mute
+                        // this thread's panic spam while searching. The
+                        // muting is thread-local behind a once-installed
+                        // delegating hook, so unrelated tests failing
+                        // concurrently keep their diagnostics and parallel
+                        // shrinkers cannot race on hook installation.
+                        let mute = $crate::__ShrinkMuteGuard::engage();
+                        let mut steps = 0usize;
+                        loop {
+                            let mut improved = false;
+                            $(
+                                // Shrink this argument to a fixpoint while
+                                // the others hold their failing values.
+                                loop {
+                                    if steps >= 10_000 {
+                                        break;
+                                    }
+                                    let candidates =
+                                        $crate::Strategy::shrink(&$strat, &*$arg.borrow());
+                                    let mut adopted = false;
+                                    for candidate in candidates {
+                                        steps += 1;
+                                        let previous = $arg.replace(candidate);
+                                        if check() {
+                                            adopted = true;
+                                            improved = true;
+                                            break;
+                                        }
+                                        let _ = $arg.replace(previous);
+                                        if steps >= 10_000 {
+                                            break;
+                                        }
+                                    }
+                                    if !adopted {
+                                        break;
+                                    }
+                                }
+                            )+
+                            if !improved {
+                                break;
+                            }
+                        }
+                        ::std::mem::drop(mute);
+                        let mut minimal = ::std::string::String::new();
+                        $(minimal.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($arg), $arg.borrow()
+                        ));)+
+                        eprintln!(
+                            "proptest: minimal failing case for {}:\n{minimal}",
+                            stringify!($name)
+                        );
+                        ::std::panic::panic_any(::std::format!(
+                            "proptest: property {} failed; minimal failing case:\n{minimal}",
+                            stringify!($name)
+                        ));
                     }
                 }
             }
@@ -360,5 +582,135 @@ mod tests {
         fn macro_without_config(x in 0u64..10) {
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn scalar_shrink_candidates_binary_search_toward_start() {
+        assert_eq!((0u64..100).shrink(&87), vec![0, 43, 86]);
+        assert_eq!((0u64..100).shrink(&0), Vec::<u64>::new());
+        assert_eq!((0u64..100).shrink(&1), vec![0]); // midpoint collapses
+        assert_eq!((0u64..100).shrink(&2), vec![0, 1]); // pred == mid deduped
+        assert_eq!((-5i64..5).shrink(&4), vec![-5, 0, 3]);
+        assert_eq!((2usize..9).shrink(&8), vec![2, 5, 7]);
+        let f = (-1.0f64..1.0).shrink(&0.5);
+        assert_eq!(f, vec![-1.0, -0.25]);
+        assert!((-1.0f64..1.0).shrink(&-1.0).is_empty());
+        assert_eq!(crate::bool::ANY.shrink(&true), vec![false]);
+        assert!(crate::bool::ANY.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_halves_then_drops_then_shrinks_elements() {
+        let strat = collection::vec(0u64..10, 2..9);
+        let cands = strat.shrink(&vec![7, 8, 6, 5]);
+        // Halve (respecting the minimum size), then drop one element.
+        assert_eq!(cands[0], vec![7, 8]);
+        assert_eq!(cands[1], vec![7, 8, 6]);
+        // Then element-wise via the element strategy's shrinker.
+        assert!(cands[2..].contains(&vec![0, 8, 6, 5]));
+        assert!(cands[2..].contains(&vec![7, 8, 6, 0]));
+        // At the minimum length only element-wise candidates remain.
+        let at_min = strat.shrink(&vec![3, 0]);
+        assert!(at_min.iter().all(|v| v.len() == 2));
+        assert!(at_min.contains(&vec![0, 0]));
+        // Fixed-size vectors never shrink their length.
+        assert!(collection::vec(0u64..10, 3)
+            .shrink(&vec![1, 1, 1])
+            .iter()
+            .all(|v| v.len() == 3));
+    }
+
+    #[test]
+    fn prop_map_does_not_shrink() {
+        let mapped = (0u64..100).prop_map(|x| x * 2);
+        assert!(Strategy::shrink(&mapped, &42).is_empty());
+    }
+
+    // Deliberately-failing demo properties (no #[test] attribute: invoked
+    // manually under catch_unwind by the tests below, which assert the
+    // runner shrinks them to their minimal failing cases).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn failing_scalar_demo(x in 0u64..100) {
+            // Minimal failing input: x = 3.
+            prop_assert!(x < 3);
+        }
+
+        fn failing_vec_demo(v in collection::vec(0.0_f64..8.0, 0..20)) {
+            // Minimal failing input: five elements, each at the range
+            // start — the property only constrains the length, so
+            // element-wise shrinking drives every entry to 0.0.
+            prop_assert!(v.len() < 5);
+        }
+
+        fn failing_multi_arg_demo(x in -6i64..6, flag in crate::bool::ANY, y in 0usize..40) {
+            // Fails iff x ≥ -2 and y ≥ 7; flag is irrelevant and must
+            // shrink to false. Minimal case: x = -2, flag = false, y = 7.
+            prop_assert!(x < -2 || y < 7, "irrelevant flag: {flag}");
+        }
+    }
+
+    /// Runs a deliberately-failing generated property and returns the
+    /// runner's final panic message (the runner mutes only its own
+    /// thread's candidate panics via [`__ShrinkMuteGuard`], so concurrent
+    /// demos — and unrelated failing tests — keep their diagnostics).
+    fn failure_message(property: fn()) -> String {
+        let payload = std::panic::catch_unwind(property).expect_err("property must fail");
+        *payload
+            .downcast::<String>()
+            .expect("runner panics with String")
+    }
+
+    #[test]
+    fn mute_guard_is_thread_local_and_drops_clean() {
+        let guard = crate::__ShrinkMuteGuard::engage();
+        assert!(crate::MUTE_SHRINK_PANICS.with(std::cell::Cell::get));
+        // Other threads — e.g. an unrelated test failing concurrently —
+        // are not muted.
+        let other = std::thread::spawn(|| crate::MUTE_SHRINK_PANICS.with(std::cell::Cell::get))
+            .join()
+            .unwrap();
+        assert!(!other);
+        drop(guard);
+        assert!(!crate::MUTE_SHRINK_PANICS.with(std::cell::Cell::get));
+    }
+
+    #[test]
+    fn shrinks_scalar_to_minimal_failing_case() {
+        let msg = failure_message(failing_scalar_demo);
+        assert!(msg.contains("minimal failing case"), "got: {msg}");
+        assert!(msg.contains("x = 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrinks_vec_to_minimal_failing_case() {
+        let msg = failure_message(failing_vec_demo);
+        assert!(msg.contains("v = [0.0, 0.0, 0.0, 0.0, 0.0]"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrinks_each_argument_independently() {
+        let msg = failure_message(failing_multi_arg_demo);
+        assert!(msg.contains("x = -2"), "got: {msg}");
+        assert!(msg.contains("flag = false"), "got: {msg}");
+        assert!(msg.contains("y = 7"), "got: {msg}");
+    }
+
+    // A property that fails only for a *specific* interior value must not
+    // be shrunk past it (every candidate passes, so the original failing
+    // input is reported unchanged).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        fn failing_point_demo(x in 0u64..32) {
+            prop_assert!(x != 21);
+        }
+    }
+
+    #[test]
+    fn shrinking_stops_at_unshrinkable_failures() {
+        let msg = failure_message(failing_point_demo);
+        assert!(msg.contains("x = 21"), "got: {msg}");
     }
 }

@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by freezing, serialization and batched prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Rebuilding a classifier from frozen parameters failed.
+    Model(dfr_core::CoreError),
+    /// A linear-algebra kernel failed (internal shape error).
+    Linalg(dfr_linalg::LinalgError),
+    /// One sample of a batch failed in the reservoir (the **lowest** failing
+    /// sample index is reported, independent of thread scheduling).
+    Sample {
+        /// Index of the failing sample within the batch call.
+        index: usize,
+        /// The underlying reservoir failure.
+        source: dfr_reservoir::ReservoirError,
+    },
+    /// The byte stream is not a valid frozen model.
+    Format {
+        /// Human-readable description of the first malformed element.
+        detail: String,
+    },
+    /// The byte stream parsed but its trailing digest does not match its
+    /// content (corruption or truncation-with-padding).
+    Digest {
+        /// Digest stored in the stream.
+        stored: u64,
+        /// Digest recomputed over the received payload.
+        computed: u64,
+    },
+    /// Normalization constants do not match the model's channel count.
+    Normalization {
+        /// Channels the model expects.
+        expected: usize,
+        /// Length of the provided means/stds.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "frozen-model rebuild error: {e}"),
+            ServeError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ServeError::Sample { index, source } => {
+                write!(f, "sample {index} failed: {source}")
+            }
+            ServeError::Format { detail } => write!(f, "malformed frozen model: {detail}"),
+            ServeError::Digest { stored, computed } => write!(
+                f,
+                "frozen-model digest mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ServeError::Normalization { expected, found } => write!(
+                f,
+                "normalization constants for {found} channels, model has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::Linalg(e) => Some(e),
+            ServeError::Sample { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<dfr_core::CoreError> for ServeError {
+    fn from(e: dfr_core::CoreError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<dfr_linalg::LinalgError> for ServeError {
+    fn from(e: dfr_linalg::LinalgError) -> Self {
+        ServeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServeError::Sample {
+            index: 3,
+            source: dfr_reservoir::ReservoirError::Diverged { step: 7 },
+        };
+        assert!(e.to_string().contains("sample 3"));
+        assert!(e.source().is_some());
+
+        let e = ServeError::Digest {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("digest mismatch"));
+        assert!(e.source().is_none());
+
+        let e = ServeError::Format {
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+
+        let e = ServeError::Normalization {
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("3 channels"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Batched inference for trained DFR classifiers.
+//!
+//! Training (`dfr-core`) drags a full backpropagation-shaped pipeline
+//! behind every forward pass; serving must not. This crate is the
+//! deployment half of the reproduction:
+//!
+//! * [`FrozenModel`] — every parameter a prediction needs (mask, reservoir
+//!   gains, readout weights and bias, optional per-channel normalization
+//!   constants), extracted from a trained
+//!   [`DfrClassifier`](dfr_core::DfrClassifier) into one versioned,
+//!   byte-serializable layout with a content digest. See `DESIGN.md` §11
+//!   for the exact byte layout.
+//! * [`BatchPlan`] — groups incoming samples into bounded, GEMM-friendly
+//!   batches so memory stays constant no matter how many requests arrive
+//!   in one call.
+//! * [`FrozenModel::predict_batch_into`] — the batch hot path: per-sample
+//!   reservoir features fan out over [`dfr_pool`] with one persistent
+//!   [`ServeWorkspace`] per worker, then the whole batch goes through a
+//!   single GEMM readout epilogue
+//!   ([`dfr_linalg::activation::dense_bias_softmax_rows_into`]).
+//!   Allocation-free after warm-up and **bitwise identical** to per-sample
+//!   [`DfrClassifier::predict`](dfr_core::DfrClassifier::predict) at every
+//!   thread count and batch size.
+//!
+//! # Example
+//!
+//! ```
+//! use dfr_core::DfrClassifier;
+//! use dfr_linalg::Matrix;
+//! use dfr_serve::{BatchPlan, FrozenModel, ServeState};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = DfrClassifier::paper_default(8, 2, 3, 0)?;
+//! model.reservoir_mut().set_params(0.05, 0.1)?;
+//! model.w_out_mut()[(1, 4)] = 0.7;
+//!
+//! let frozen = FrozenModel::freeze(&model);
+//! let requests: Vec<Matrix> = (1..=5).map(|t| Matrix::filled(4 * t, 2, 0.3)).collect();
+//!
+//! let mut state = ServeState::new();
+//! frozen.predict_batch_into(&requests, &BatchPlan::default(), &mut state)?;
+//! assert_eq!(state.predictions().len(), 5);
+//! // Bitwise identical to the training-side per-sample path:
+//! assert_eq!(state.predictions()[0], model.predict(&requests[0])?);
+//!
+//! // Round-trip through the wire format.
+//! let restored = FrozenModel::from_bytes(&frozen.to_bytes())?;
+//! assert_eq!(restored.content_digest(), frozen.content_digest());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod error;
+mod frozen;
+
+pub use batch::{BatchPlan, ServeState, ServeWorkspace};
+pub use error::ServeError;
+pub use frozen::{FrozenModel, FORMAT_VERSION};

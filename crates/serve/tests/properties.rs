@@ -1,0 +1,163 @@
+//! Property suite pinning the serving layer's bit-identity contract:
+//! `predict_batch` must equal sequential per-sample `predict` **bitwise**
+//! (predictions and probabilities) for ragged batch sizes 1..=65 at pool
+//! widths {1, 2, 8}, and a frozen model must survive the serialize →
+//! deserialize round trip with identical predictions.
+
+use dfr_core::DfrClassifier;
+use dfr_linalg::Matrix;
+use dfr_serve::{BatchPlan, FrozenModel, ServeState, ServeWorkspace};
+use proptest::prelude::*;
+
+/// A deterministic trained-shaped model: paper-default wiring with
+/// hand-set reservoir gains and a dense, sign-varied readout.
+fn model(nodes: usize, channels: usize, classes: usize, seed: u64) -> DfrClassifier {
+    let mut m = DfrClassifier::paper_default(nodes, channels, classes, seed).unwrap();
+    m.reservoir_mut().set_params(0.07, 0.18).unwrap();
+    for j in 0..m.feature_dim() {
+        for k in 0..classes {
+            m.w_out_mut()[(k, j)] = 0.02 * (((j * 5 + k * 3 + 1) % 17) as f64 - 8.0);
+        }
+    }
+    for (k, b) in m.bias_mut().iter_mut().enumerate() {
+        *b = 0.05 * (k as f64 - 1.0);
+    }
+    m
+}
+
+/// Ragged workload: lengths cycle through 1..=24 so every batch mixes
+/// short and long series (including the degenerate T = 1).
+fn ragged_series(n: usize, channels: usize) -> Vec<Matrix> {
+    (0..n)
+        .map(|i| {
+            let t = 1 + (i * 11) % 24;
+            Matrix::from_vec(
+                t,
+                channels,
+                (0..t * channels)
+                    .map(|k| (((k * 7 + i * 13) % 29) as f64 * 0.23 - 3.0).sin())
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// The headline contract of ISSUE 5: for every ragged batch size 1..=65
+/// and pool width {1, 2, 8}, batched predictions and probabilities are
+/// bitwise equal to the training-side per-sample `predict`.
+#[test]
+fn predict_batch_matches_per_sample_bitwise_for_ragged_sizes() {
+    let m = model(6, 2, 3, 3);
+    let frozen = FrozenModel::freeze(&m);
+    let series = ragged_series(65, 2);
+    // Per-sample oracle, computed once on the training-side path.
+    let oracle: Vec<(usize, Vec<u64>)> = series
+        .iter()
+        .map(|s| {
+            let cache = m.forward(s).unwrap();
+            (
+                cache.prediction(),
+                cache.probs.iter().map(|p| p.to_bits()).collect(),
+            )
+        })
+        .collect();
+    let plan = BatchPlan::new(16); // several groups per call once n > 16
+    let mut state = ServeState::new();
+    for threads in [1usize, 2, 8] {
+        dfr_pool::with_threads(threads, || {
+            for n in 1..=65usize {
+                frozen
+                    .predict_batch_into(&series[..n], &plan, &mut state)
+                    .unwrap();
+                for (i, (expected_class, expected_bits)) in oracle.iter().enumerate().take(n) {
+                    assert_eq!(
+                        state.predictions()[i],
+                        *expected_class,
+                        "threads={threads} n={n} sample {i}"
+                    );
+                    for (j, &bits) in expected_bits.iter().enumerate() {
+                        assert_eq!(
+                            state.probabilities()[(i, j)].to_bits(),
+                            bits,
+                            "threads={threads} n={n} sample {i} class {j}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// The per-sample serving form agrees with the batch form (and therefore
+/// with the training-side path) at every width.
+#[test]
+fn predict_one_matches_batch_at_every_width() {
+    let m = model(5, 3, 4, 7);
+    let frozen = FrozenModel::freeze(&m);
+    let series = ragged_series(12, 3);
+    let mut ws = ServeWorkspace::new();
+    let per_sample: Vec<usize> = series
+        .iter()
+        .map(|s| frozen.predict_one(s, &mut ws).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let batched = dfr_pool::with_threads(threads, || frozen.predict_batch(&series).unwrap());
+        assert_eq!(batched, per_sample, "threads={threads}");
+    }
+}
+
+/// Differential round-trip: serialize → deserialize → identical digest,
+/// identical predictions and probabilities; and the thawed classifier
+/// predicts identically to the original.
+#[test]
+fn round_trip_preserves_predictions_bitwise() {
+    let m = model(6, 2, 3, 11);
+    let frozen = FrozenModel::freeze(&m)
+        .with_normalization(vec![0.3, -0.2], vec![1.4, 0.6])
+        .unwrap();
+    let restored = FrozenModel::from_bytes(&frozen.to_bytes()).unwrap();
+    assert_eq!(restored.content_digest(), frozen.content_digest());
+    assert_eq!(restored.diff(&frozen), None);
+
+    let series = ragged_series(33, 2);
+    let plan = BatchPlan::new(8);
+    let (mut a, mut b) = (ServeState::new(), ServeState::new());
+    frozen.predict_batch_into(&series, &plan, &mut a).unwrap();
+    restored.predict_batch_into(&series, &plan, &mut b).unwrap();
+    assert_eq!(a.predictions(), b.predictions());
+    assert_eq!(a.probabilities(), b.probabilities());
+
+    // The thawed classifier is the original, bit for bit.
+    let thawed = restored.thaw().unwrap();
+    assert_eq!(thawed, m);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip identity over random reservoir gains, mask seeds and
+    /// workloads (no hand-picked corners).
+    #[test]
+    fn random_models_round_trip_and_serve_identically(
+        a in 0.02_f64..0.3,
+        b in 0.02_f64..0.3,
+        seed in 0u64..1000,
+        scale in -0.5_f64..0.5,
+        n in 1usize..12,
+    ) {
+        let mut m = DfrClassifier::paper_default(4, 2, 3, seed).unwrap();
+        m.reservoir_mut().set_params(a, b).unwrap();
+        for j in 0..m.feature_dim() {
+            m.w_out_mut()[(j % 3, j)] = scale * (((j % 7) as f64) - 3.0);
+        }
+        let frozen = FrozenModel::freeze(&m);
+        let restored = FrozenModel::from_bytes(&frozen.to_bytes()).unwrap();
+        prop_assert_eq!(restored.content_digest(), frozen.content_digest());
+        let series = ragged_series(n, 2);
+        let got = restored.predict_batch(&series).unwrap();
+        for (i, s) in series.iter().enumerate() {
+            prop_assert_eq!(got[i], m.predict(s).unwrap());
+        }
+    }
+}

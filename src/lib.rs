@@ -11,6 +11,9 @@
 //!   grid-search baseline, the Table 2 memory model and metrics.
 //! * [`pool`] — the deterministic parallel execution layer every hot path
 //!   runs on (`DFR_THREADS` controls the fan-out width).
+//! * [`serve`] — batched inference: frozen, byte-serializable models with
+//!   a zero-allocation `predict_batch` bitwise identical to per-sample
+//!   `predict`.
 //!
 //! # Quickstart
 //!
@@ -40,3 +43,4 @@ pub use dfr_data as data;
 pub use dfr_linalg as linalg;
 pub use dfr_pool as pool;
 pub use dfr_reservoir as reservoir;
+pub use dfr_serve as serve;

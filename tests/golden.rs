@@ -1,0 +1,124 @@
+//! Golden snapshot of the quickstart model's frozen parameters.
+//!
+//! Trains the quickstart configuration at its fixed seeds, freezes the
+//! result into a `dfr_serve::FrozenModel` and pins the **content digest**
+//! of its serialized bytes. Training is bit-identical across thread counts
+//! (`DESIGN.md` §8) and optimisation levels, so this digest is a single
+//! number that notarises the entire pipeline: any future change to the
+//! reservoir recurrence, the DPRR reduction, a GEMM kernel, the ridge
+//! solver or the serialization layout that breaks bit-identity fails this
+//! test — loudly, with a diff of the first divergent field against the
+//! committed golden bytes (`tests/data/golden_frozen.bin`).
+//!
+//! To regenerate after an *intentional* numerical change:
+//!
+//! ```text
+//! cargo test --test golden -- --ignored regenerate_golden --nocapture
+//! ```
+//!
+//! then update `GOLDEN_DIGEST` with the printed value and commit the
+//! refreshed `tests/data/golden_frozen.bin` alongside it.
+
+use dfr::core::trainer::{train, TrainOptions};
+use dfr::data::DatasetSpec;
+use dfr::serve::FrozenModel;
+use std::path::PathBuf;
+
+/// Pinned FNV-1a-64 digest of the frozen quickstart model.
+const GOLDEN_DIGEST: u64 = 0x212084434f6f1347;
+
+/// Committed golden bytes, used to diff the first divergent field when the
+/// digest moves.
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_frozen.bin")
+}
+
+/// The quickstart pipeline of `examples/quickstart.rs`, end to end at its
+/// fixed seeds, frozen with the training-split normalization constants.
+fn train_and_freeze() -> FrozenModel {
+    let spec = DatasetSpec::new("quickstart", 3, 60, 2, 60, 60, 0.6);
+    let mut dataset = spec.build(0);
+    let standardizer = dfr::data::normalize::standardize(&mut dataset);
+    let report = train(&dataset, &TrainOptions::calibrated()).expect("quickstart trains");
+    FrozenModel::freeze(&report.model)
+        .with_normalization(standardizer.means().to_vec(), standardizer.stds().to_vec())
+        .expect("channel counts match")
+}
+
+#[test]
+fn quickstart_frozen_model_digest_is_pinned() {
+    let frozen = train_and_freeze();
+    if frozen.content_digest() == GOLDEN_DIGEST {
+        return;
+    }
+    // The digest moved: produce an actionable failure. Prefer a
+    // field-level diff against the committed golden bytes; fall back to
+    // the raw digests if the file itself cannot be read.
+    let detail = match std::fs::read(golden_path()) {
+        Ok(bytes) => match FrozenModel::from_bytes(&bytes) {
+            Ok(golden) => frozen
+                .diff(&golden)
+                .unwrap_or_else(|| "no field differs (digest algorithm changed?)".to_string()),
+            Err(e) => format!("golden file unreadable: {e}"),
+        },
+        Err(e) => format!("golden file missing: {e}"),
+    };
+    panic!(
+        "frozen quickstart model diverged from the golden snapshot\n\
+         pinned digest:   {GOLDEN_DIGEST:#018x}\n\
+         current digest:  {:#018x}\n\
+         first divergent field: {detail}\n\
+         If this change is intentional, regenerate with\n\
+         `cargo test --test golden -- --ignored regenerate_golden --nocapture`\n\
+         and update GOLDEN_DIGEST + tests/data/golden_frozen.bin.",
+        frozen.content_digest()
+    );
+}
+
+#[test]
+fn golden_bytes_round_trip_and_serve() {
+    let bytes = std::fs::read(golden_path()).expect("golden file committed");
+    let golden = FrozenModel::from_bytes(&bytes).expect("golden file parses");
+    assert_eq!(
+        golden.content_digest(),
+        GOLDEN_DIGEST,
+        "file vs pinned digest"
+    );
+    assert_eq!(golden.to_bytes(), bytes, "serialization is canonical");
+
+    // Differential check: the committed snapshot predicts identically to a
+    // freshly trained quickstart model on its own (standardized) test
+    // split — and the frozen model normalizes raw input itself.
+    let spec = DatasetSpec::new("quickstart", 3, 60, 2, 60, 60, 0.6);
+    let mut standardized = spec.build(0);
+    let raw = standardized.clone();
+    dfr::data::normalize::standardize(&mut standardized);
+    let report = train(&standardized, &TrainOptions::calibrated()).expect("quickstart trains");
+
+    let raw_series: Vec<dfr::linalg::Matrix> =
+        raw.test().iter().map(|s| s.series.clone()).collect();
+    let served = golden
+        .predict_batch(&raw_series)
+        .expect("serve golden model");
+    for (i, sample) in standardized.test().iter().enumerate() {
+        let expected = report.model.predict(&sample.series).expect("predict");
+        assert_eq!(served[i], expected, "sample {i}");
+    }
+}
+
+/// Writes the golden bytes and prints the digest to pin. Ignored in normal
+/// runs; see the module docs for the regeneration workflow.
+#[test]
+#[ignore = "regenerates the golden snapshot; run explicitly after intentional numerical changes"]
+fn regenerate_golden() {
+    let frozen = train_and_freeze();
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("tests/data")).expect("create tests/data");
+    std::fs::write(&path, frozen.to_bytes()).expect("write golden file");
+    println!(
+        "wrote {} ({} bytes)\nGOLDEN_DIGEST = {:#018x}",
+        path.display(),
+        frozen.to_bytes().len(),
+        frozen.content_digest()
+    );
+}
