@@ -13,7 +13,7 @@
 //!   [`DfrClassifier::predict`], which re-drives the training-shaped
 //!   forward pass with cold buffers on every call;
 //! * `predict_batch` at batch sizes {1, 8, 64, 256} and every requested
-//!   pool width, against one warm [`ServeState`].
+//!   pool width, through a warm [`ServeSession`] per batch size.
 //!
 //! Before any timing is recorded, every configuration's predictions are
 //! asserted **equal to the per-sample oracle** — the file doubles as a
@@ -26,13 +26,13 @@
 //! honestly (`available_cores` says what the host offered).
 //!
 //! [`DfrClassifier::predict`]: dfr_core::DfrClassifier::predict
-//! [`ServeState`]: dfr_serve::ServeState
+//! [`ServeSession`]: dfr_serve::ServeSession
 
 use dfr_bench::{json_array, json_f64, json_object, json_str, write_results, Args};
 use dfr_core::trainer::{train, TrainOptions};
 use dfr_data::DatasetSpec;
 use dfr_linalg::Matrix;
-use dfr_serve::{BatchPlan, FrozenModel, ServeState};
+use dfr_serve::{FrozenModel, ServeSession};
 use std::time::Instant;
 
 /// Mean wall-clock seconds of `f` over `repeats` runs (after one warm-up),
@@ -121,17 +121,17 @@ fn main() {
     });
 
     // Batch-1 single-thread baseline: request-at-a-time serving through
-    // the warm serve path.
-    let mut state = ServeState::new();
-    let serve_pass = |plan: &BatchPlan, state: &mut ServeState| -> Vec<usize> {
-        frozen
-            .predict_batch_into(&series, plan, state)
-            .expect("serve");
-        state.predictions().to_vec()
+    // a warm session.
+    let serve_pass = |session: &mut ServeSession| -> Vec<usize> {
+        session
+            .predict_batch(&series)
+            .expect("serve")
+            .predictions()
+            .to_vec()
     };
-    let plan1 = BatchPlan::new(1);
+    let mut session1 = ServeSession::builder(frozen.clone()).max_batch(1).build();
     let (batch1_mean, batch1_preds) =
-        dfr_pool::with_threads(1, || time_mut(repeats, || serve_pass(&plan1, &mut state)));
+        dfr_pool::with_threads(1, || time_mut(repeats, || serve_pass(&mut session1)));
     assert_eq!(
         batch1_preds, oracle,
         "predict_batch (batch 1, serial) differs from per-sample predict"
@@ -147,11 +147,12 @@ fn main() {
 
     let mut batch64_best = 0.0_f64;
     for &max_batch in &[8usize, 64, 256] {
-        let plan = BatchPlan::new(max_batch);
+        let mut session = ServeSession::builder(frozen.clone())
+            .max_batch(max_batch)
+            .build();
         for &threads in &widths {
-            let (mean, preds) = dfr_pool::with_threads(threads, || {
-                time_mut(repeats, || serve_pass(&plan, &mut state))
-            });
+            let (mean, preds) =
+                dfr_pool::with_threads(threads, || time_mut(repeats, || serve_pass(&mut session)));
             assert_eq!(
                 preds, oracle,
                 "predict_batch (batch {max_batch}, {threads} threads) differs from per-sample predict"

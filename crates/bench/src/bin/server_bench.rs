@@ -1,0 +1,213 @@
+//! Load generator for the `dfr-server` network front-end, feeding
+//! `results/BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin server_bench \
+//!     [-- --requests 200 --clients 1,2,4 --deadline-us 500]
+//! ```
+//!
+//! Trains the quickstart model once, publishes it to a loopback
+//! [`Server`], then sweeps concurrent client counts. Each client thread
+//! owns one connection and fires `--requests` requests back to back,
+//! recording the full round-trip latency of every one (encode → TCP →
+//! admission → coalesce → predict → TCP → decode). `Busy` rejections are
+//! honored by sleeping the server's retry hint and retrying — they count
+//! as backpressure events, not samples.
+//!
+//! **Oracle assert:** before any timing, every distinct series' expected
+//! (class, probability bits, digest) is computed through a direct
+//! in-process [`ServeSession`], and every network response is asserted
+//! **bitwise equal** to it — the bench refuses to record numbers for a
+//! server that changes bytes.
+//!
+//! Recorded per client count: p50/p99/p999 round-trip latency (µs) and
+//! aggregate throughput; a final `saturation` row records the best
+//! throughput the sweep found. `available_cores` says honestly what the
+//! host offered — on a single-core runner the batcher, the pool and the
+//! clients all share one core, and the numbers record that reality.
+
+use dfr_bench::{json_array, json_f64, json_object, json_str, percentile, write_results, Args};
+use dfr_core::trainer::{train, TrainOptions};
+use dfr_data::DatasetSpec;
+use dfr_linalg::Matrix;
+use dfr_serve::{FrozenModel, ServeSession};
+use dfr_server::{Client, ModelRegistry, Server, ServerConfig, ServerError, Status};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::from_env();
+    let requests = args.get_usize("requests", 200).max(1);
+    let deadline_us = args.get_usize("deadline-us", 500) as u64;
+    let clients_sweep: Vec<usize> = args
+        .get("clients")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The quickstart model (same configuration BENCH_serve pins),
+    // trained once and frozen for serving.
+    let spec = DatasetSpec::new("quickstart", 3, 60, 2, 60, 60, 0.6);
+    let mut ds = spec.build(0);
+    dfr_data::normalize::standardize(&mut ds);
+    let model = train(&ds, &TrainOptions::calibrated())
+        .expect("quickstart trains")
+        .model;
+    let frozen = FrozenModel::freeze(&model);
+
+    // Ragged request pool: lengths 20..=120, as BENCH_serve uses.
+    let series: Vec<Matrix> = (0..64)
+        .map(|i| {
+            let t = 20 + (i * 37) % 101;
+            Matrix::from_vec(
+                t,
+                2,
+                (0..t * 2)
+                    .map(|k| (((k * 7 + i * 13) % 997) as f64 * 0.029).sin())
+                    .collect(),
+            )
+            .expect("sized")
+        })
+        .collect();
+
+    // The oracle: direct in-process predict over the whole pool.
+    let expected: Arc<Vec<(usize, Vec<u64>, u64)>> = Arc::new({
+        let mut session = ServeSession::builder(frozen.clone()).build();
+        let result = session.predict_batch(&series).expect("oracle");
+        (0..series.len())
+            .map(|i| {
+                (
+                    result.predictions()[i],
+                    result
+                        .probabilities_of(i)
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect(),
+                    result.digest(),
+                )
+            })
+            .collect()
+    });
+    let series = Arc::new(series);
+
+    let registry = Arc::new(ModelRegistry::new(frozen));
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            batch_deadline: Duration::from_micros(deadline_us),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    println!(
+        "server_bench — {requests} requests/client, clients {clients_sweep:?}, \
+         coalesce deadline {deadline_us} µs ({cores} cores available)"
+    );
+
+    let mut json_rows = Vec::new();
+    let mut saturation_rps = 0.0_f64;
+    for &clients in &clients_sweep {
+        let sweep_start = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let series = Arc::clone(&series);
+                let expected = Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies_us = Vec::with_capacity(requests);
+                    let mut busy = 0u64;
+                    for r in 0..requests {
+                        let i = (w * 17 + r) % series.len();
+                        let start = Instant::now();
+                        let got = loop {
+                            match client.predict(&series[i]) {
+                                Ok(p) => break p,
+                                Err(ServerError::Rejected {
+                                    status: Status::Busy,
+                                    retry_after_ms,
+                                }) => {
+                                    busy += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms.max(1) as u64,
+                                    ));
+                                }
+                                Err(e) => panic!("client {w} request {r}: {e}"),
+                            }
+                        };
+                        latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                        // Oracle assert: the network must not change bytes.
+                        let (class, bits, digest) = &expected[i];
+                        assert_eq!(got.class, *class, "client {w} series {i} class");
+                        assert_eq!(got.digest, *digest, "client {w} series {i} digest");
+                        let got_bits: Vec<u64> =
+                            got.probabilities.iter().map(|p| p.to_bits()).collect();
+                        assert_eq!(&got_bits, bits, "client {w} series {i} probabilities");
+                    }
+                    (latencies_us, busy)
+                })
+            })
+            .collect();
+
+        let mut latencies = Vec::with_capacity(clients * requests);
+        let mut busy_total = 0u64;
+        for wkr in workers {
+            let (lat, busy) = wkr.join().expect("client thread");
+            latencies.extend(lat);
+            busy_total += busy;
+        }
+        let wall = sweep_start.elapsed().as_secs_f64();
+        let total = (clients * requests) as f64;
+        let rps = total / wall.max(1e-12);
+        saturation_rps = saturation_rps.max(rps);
+        let (p50, p99, p999) = (
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 99.0),
+            percentile(&latencies, 99.9),
+        );
+        println!(
+            "clients {clients:>2}  {rps:>9.1} req/s  p50 {p50:>8.1} µs  p99 {p99:>8.1} µs  \
+             p999 {p999:>8.1} µs  busy {busy_total}"
+        );
+        json_rows.push(json_object(&[
+            ("config", json_str("loopback_load")),
+            ("clients", clients.to_string()),
+            ("requests_total", ((clients * requests) as u64).to_string()),
+            ("coalesce_deadline_us", deadline_us.to_string()),
+            ("throughput_rps", json_f64(rps)),
+            ("p50_us", json_f64(p50)),
+            ("p99_us", json_f64(p99)),
+            ("p999_us", json_f64(p999)),
+            ("busy_rejections", busy_total.to_string()),
+            ("oracle_checked", "true".to_string()),
+            ("available_cores", cores.to_string()),
+        ]));
+    }
+
+    let stats = server.stats();
+    json_rows.push(json_object(&[
+        ("config", json_str("saturation")),
+        ("saturation_throughput_rps", json_f64(saturation_rps)),
+        ("server_batches", stats.batches.to_string()),
+        ("server_served", stats.served.to_string()),
+        ("server_rejected_busy", stats.rejected_busy.to_string()),
+        (
+            "mean_batch_fill",
+            json_f64(stats.served as f64 / (stats.batches as f64).max(1.0)),
+        ),
+        ("available_cores", cores.to_string()),
+    ]));
+    server.shutdown();
+
+    let path = write_results("BENCH_server.json", &json_array(&json_rows));
+    println!(
+        "\nsaturation throughput {saturation_rps:.1} req/s, mean batch fill {:.2}",
+        stats.served as f64 / (stats.batches as f64).max(1.0)
+    );
+    println!("wrote {}", path.display());
+}

@@ -186,6 +186,32 @@ pub fn sample_stats(samples: &[f64]) -> (f64, f64, f64) {
     (mean, median, var.sqrt())
 }
 
+/// The `p`-th percentile (0 ≤ `p` ≤ 100) of a sample set, by nearest
+/// rank on the sorted data — the latency summary (`p50`/`p99`/`p999`)
+/// the serving benchmarks record. Nearest rank, not interpolation: a
+/// reported tail value is always a latency that actually occurred.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+///
+/// # Example
+///
+/// ```
+/// let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+/// assert_eq!(dfr_bench::percentile(&samples, 50.0), 50.0);
+/// assert_eq!(dfr_bench::percentile(&samples, 99.0), 99.0);
+/// assert_eq!(dfr_bench::percentile(&samples, 100.0), 100.0);
+/// assert_eq!(dfr_bench::percentile(&samples, 0.0), 1.0);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile needs at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Renders a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

@@ -26,7 +26,7 @@ use dfr_core::workspace::TrainWorkspace;
 use dfr_core::DfrClassifier;
 use dfr_linalg::ridge::RidgePlan;
 use dfr_linalg::{GemmWorkspace, Matrix};
-use dfr_serve::{BatchPlan, FrozenModel, ServeState, ServeWorkspace};
+use dfr_serve::{FrozenModel, ServeSession};
 
 /// Forwards to the system allocator, counting every allocation made by a
 /// thread whose `COUNTING` flag is up. Deallocations are not counted:
@@ -235,35 +235,35 @@ fn predict_batch_is_allocation_free_after_warmup() {
                 .expect("sized")
             })
             .collect();
-        let plan = BatchPlan::new(16);
-        let mut state = ServeState::new();
-        frozen
-            .predict_batch_into(&series, &plan, &mut state)
-            .expect("warm-up batch"); // buffers reach their high-water mark
+        // The session owns every workspace; one warm call brings its
+        // buffers to their high-water mark.
+        let mut session = ServeSession::builder(frozen).max_batch(16).build();
+        session.predict_batch(&series).expect("warm-up batch");
         let (allocs, ()) = count_allocs(|| {
             for _ in 0..50 {
-                frozen
-                    .predict_batch_into(&series, &plan, &mut state)
-                    .expect("steady-state batch");
+                session.predict_batch(&series).expect("steady-state batch");
             }
         });
         assert_eq!(
             allocs, 0,
-            "post-warm-up predict_batch must not allocate ({allocs} allocations in 50 calls)"
+            "post-warm-up ServeSession::predict_batch must not allocate ({allocs} allocations in 50 calls)"
         );
 
         // The per-sample serving form holds the same contract.
-        let mut ws = ServeWorkspace::new();
-        let longest = series.iter().max_by_key(|s| s.rows()).expect("non-empty");
-        frozen.predict_one(longest, &mut ws).expect("warm-up");
+        let longest = series
+            .iter()
+            .max_by_key(|s| s.rows())
+            .expect("non-empty")
+            .clone();
+        session.predict_one(&longest).expect("warm-up");
         let (allocs, ()) = count_allocs(|| {
             for s in &series {
-                frozen.predict_one(s, &mut ws).expect("steady-state");
+                session.predict_one(s).expect("steady-state");
             }
         });
         assert_eq!(
             allocs, 0,
-            "post-warm-up predict_one must not allocate ({allocs} allocations)"
+            "post-warm-up ServeSession::predict_one must not allocate ({allocs} allocations)"
         );
     });
 }

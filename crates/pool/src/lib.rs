@@ -134,6 +134,31 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// [`with_threads`] with an optional width: `Some(n)` pins parallel
+/// regions to `n` workers exactly like [`with_threads`], `None` runs `f`
+/// under the ambient sizing (no override installed or removed).
+///
+/// This is the entry point for layers that *optionally* own their width —
+/// e.g. a serving session built with an explicit thread count pins it,
+/// one built without inherits the process default.
+///
+/// # Example
+///
+/// ```
+/// let pinned = dfr_pool::with_threads_opt(Some(3), dfr_pool::max_threads);
+/// assert_eq!(pinned, 3);
+/// let ambient = dfr_pool::with_threads(2, || {
+///     dfr_pool::with_threads_opt(None, dfr_pool::max_threads)
+/// });
+/// assert_eq!(ambient, 2);
+/// ```
+pub fn with_threads_opt<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match threads {
+        Some(t) => with_threads(t, f),
+        None => f(),
+    }
+}
+
 /// Whether the current thread is a pool worker (parallel regions here run
 /// serially instead of nesting).
 pub fn in_worker() -> bool {

@@ -178,14 +178,23 @@ impl ServeState {
     }
 
     /// Class probabilities of the last successful batch call (`n × N_y`,
-    /// one row per sample, in input order).
+    /// one row per sample, **in input order**).
+    ///
+    /// The ordering is independent of the batch plan: each group epilogue
+    /// writes *group-local* rows (`batch_probs`), and the copy-out loop
+    /// maps group-local row `r` to global row `range.start + r` — so
+    /// ragged final groups, and small groups taking the per-sample matvec
+    /// epilogue instead of the GEMM one, land in exactly the same rows.
+    /// Pinned by the `ragged_final_groups_keep_input_order` property test.
     pub fn probabilities(&self) -> &Matrix {
         &self.probs
     }
 }
 
 impl FrozenModel {
-    /// Predicts a whole batch of series, in input order.
+    /// Predicts a whole batch of series, in input order (crate-internal:
+    /// the public surface is [`ServeSession`](crate::ServeSession), which
+    /// owns the `state` this form threads explicitly).
     ///
     /// The per-sample half (normalize → mask product → frozen reservoir
     /// recurrence → DPRR features) fans out over [`dfr_pool`] in contiguous
@@ -207,7 +216,7 @@ impl FrozenModel {
     /// [`ServeError::Sample`] carrying the **lowest** failing sample index
     /// (channel mismatch or reservoir divergence), independent of thread
     /// scheduling.
-    pub fn predict_batch_into(
+    pub(crate) fn predict_batch_into(
         &self,
         series: &[Matrix],
         plan: &BatchPlan,
@@ -324,13 +333,14 @@ impl FrozenModel {
         Ok(())
     }
 
-    /// Convenience wrapper over [`FrozenModel::predict_batch_into`] with a
-    /// fresh default-plan state; returns the predictions. Serving loops
-    /// should hold a [`ServeState`] and use the `_into` form instead.
+    /// One-shot convenience: predicts `series` with a fresh default-plan
+    /// session and returns the classes. Serving loops should hold a
+    /// [`ServeSession`](crate::ServeSession) instead, which keeps its
+    /// workspaces warm across calls.
     ///
     /// # Errors
     ///
-    /// Same as [`FrozenModel::predict_batch_into`].
+    /// [`ServeError::Sample`] carrying the lowest failing sample index.
     pub fn predict_batch(&self, series: &[Matrix]) -> Result<Vec<usize>, ServeError> {
         let mut state = ServeState::new();
         self.predict_batch_into(series, &BatchPlan::default(), &mut state)?;
@@ -338,8 +348,9 @@ impl FrozenModel {
     }
 
     /// Predicts a single series against a caller-owned workspace — the
-    /// per-sample serving form, bitwise identical to both the batch path
-    /// and the training-side
+    /// per-sample serving form backing
+    /// [`ServeSession::predict_one`](crate::ServeSession::predict_one),
+    /// bitwise identical to both the batch path and the training-side
     /// [`DfrClassifier::predict`](dfr_core::DfrClassifier::predict).
     /// Probabilities stay readable via [`ServeWorkspace::probs`].
     /// Allocation-free once `ws` is warm.
@@ -348,7 +359,7 @@ impl FrozenModel {
     ///
     /// [`ServeError::Sample`] (index 0) on channel mismatch or reservoir
     /// divergence.
-    pub fn predict_one(
+    pub(crate) fn predict_one(
         &self,
         series: &Matrix,
         ws: &mut ServeWorkspace,

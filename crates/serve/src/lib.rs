@@ -13,21 +13,27 @@
 //! * [`BatchPlan`] — groups incoming samples into bounded, GEMM-friendly
 //!   batches so memory stays constant no matter how many requests arrive
 //!   in one call.
-//! * [`FrozenModel::predict_batch_into`] — the batch hot path: per-sample
-//!   reservoir features fan out over [`dfr_pool`] with one persistent
-//!   [`ServeWorkspace`] per worker, then the whole batch goes through a
-//!   single GEMM readout epilogue
-//!   ([`dfr_linalg::activation::dense_bias_softmax_rows_into`]).
-//!   Allocation-free after warm-up and **bitwise identical** to per-sample
+//! * [`ServeSession`] — **the serving surface**: a builder-constructed
+//!   session owning the model, the batch plan and every workspace the
+//!   zero-allocation hot path needs. [`ServeSession::predict_batch`] fans
+//!   per-sample reservoir features out over [`dfr_pool`] and runs one GEMM
+//!   readout epilogue per group; [`ServeSession::predict_one`] is the
+//!   request-at-a-time form. Both are allocation-free after warm-up and
+//!   **bitwise identical** to per-sample
 //!   [`DfrClassifier::predict`](dfr_core::DfrClassifier::predict) at every
 //!   thread count and batch size.
+//!
+//! The network front-end over this crate lives in `dfr-server`: framed TCP
+//! requests are coalesced into deadline-bounded batches and served through
+//! exactly these sessions, so network responses inherit the bit-identity
+//! contract.
 //!
 //! # Example
 //!
 //! ```
 //! use dfr_core::DfrClassifier;
 //! use dfr_linalg::Matrix;
-//! use dfr_serve::{BatchPlan, FrozenModel, ServeState};
+//! use dfr_serve::{BatchPlan, FrozenModel, ServeSession};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut model = DfrClassifier::paper_default(8, 2, 3, 0)?;
@@ -37,11 +43,15 @@
 //! let frozen = FrozenModel::freeze(&model);
 //! let requests: Vec<Matrix> = (1..=5).map(|t| Matrix::filled(4 * t, 2, 0.3)).collect();
 //!
-//! let mut state = ServeState::new();
-//! frozen.predict_batch_into(&requests, &BatchPlan::default(), &mut state)?;
-//! assert_eq!(state.predictions().len(), 5);
+//! let mut session = ServeSession::builder(frozen.clone())
+//!     .batch_plan(BatchPlan::default())
+//!     .build();
+//! let result = session.predict_batch(&requests)?;
+//! assert_eq!(result.len(), 5);
 //! // Bitwise identical to the training-side per-sample path:
-//! assert_eq!(state.predictions()[0], model.predict(&requests[0])?);
+//! assert_eq!(result.predictions()[0], model.predict(&requests[0])?);
+//! // Responses carry the serving digest so clients can pin a version.
+//! assert_eq!(result.digest(), frozen.content_digest());
 //!
 //! // Round-trip through the wire format.
 //! let restored = FrozenModel::from_bytes(&frozen.to_bytes())?;
@@ -56,7 +66,9 @@
 mod batch;
 mod error;
 mod frozen;
+mod session;
 
-pub use batch::{BatchPlan, ServeState, ServeWorkspace};
+pub use batch::BatchPlan;
 pub use error::ServeError;
 pub use frozen::{FrozenModel, FORMAT_VERSION};
+pub use session::{BatchResult, Prediction, ServeSession, ServeSessionBuilder};

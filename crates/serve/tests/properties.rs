@@ -1,12 +1,14 @@
-//! Property suite pinning the serving layer's bit-identity contract:
-//! `predict_batch` must equal sequential per-sample `predict` **bitwise**
-//! (predictions and probabilities) for ragged batch sizes 1..=65 at pool
-//! widths {1, 2, 8}, and a frozen model must survive the serialize →
+//! Property suite pinning the serving layer's bit-identity contract on the
+//! redesigned [`ServeSession`] surface: `predict_batch` must equal
+//! sequential per-sample `predict` **bitwise** (predictions and
+//! probabilities) for ragged batch sizes 1..=65 at pool widths {1, 2, 8},
+//! result rows must stay in input order for every batch plan (including
+//! ragged final groups), and a frozen model must survive the serialize →
 //! deserialize round trip with identical predictions.
 
 use dfr_core::DfrClassifier;
 use dfr_linalg::Matrix;
-use dfr_serve::{BatchPlan, FrozenModel, ServeState, ServeWorkspace};
+use dfr_serve::{BatchPlan, FrozenModel, ServeSession};
 use proptest::prelude::*;
 
 /// A deterministic trained-shaped model: paper-default wiring with
@@ -43,9 +45,10 @@ fn ragged_series(n: usize, channels: usize) -> Vec<Matrix> {
         .collect()
 }
 
-/// The headline contract of ISSUE 5: for every ragged batch size 1..=65
-/// and pool width {1, 2, 8}, batched predictions and probabilities are
-/// bitwise equal to the training-side per-sample `predict`.
+/// The headline contract carried over from ISSUE 5, now stated on the
+/// session surface: for every ragged batch size 1..=65 and pool width
+/// {1, 2, 8}, batched predictions and probabilities are bitwise equal to
+/// the training-side per-sample `predict`.
 #[test]
 fn predict_batch_matches_per_sample_bitwise_for_ragged_sizes() {
     let m = model(6, 2, 3, 3);
@@ -62,23 +65,21 @@ fn predict_batch_matches_per_sample_bitwise_for_ragged_sizes() {
             )
         })
         .collect();
-    let plan = BatchPlan::new(16); // several groups per call once n > 16
-    let mut state = ServeState::new();
+    // Several groups per call once n > 16.
+    let mut session = ServeSession::builder(frozen).max_batch(16).build();
     for threads in [1usize, 2, 8] {
         dfr_pool::with_threads(threads, || {
             for n in 1..=65usize {
-                frozen
-                    .predict_batch_into(&series[..n], &plan, &mut state)
-                    .unwrap();
+                let result = session.predict_batch(&series[..n]).unwrap();
                 for (i, (expected_class, expected_bits)) in oracle.iter().enumerate().take(n) {
                     assert_eq!(
-                        state.predictions()[i],
+                        result.predictions()[i],
                         *expected_class,
                         "threads={threads} n={n} sample {i}"
                     );
                     for (j, &bits) in expected_bits.iter().enumerate() {
                         assert_eq!(
-                            state.probabilities()[(i, j)].to_bits(),
+                            result.probabilities()[(i, j)].to_bits(),
                             bits,
                             "threads={threads} n={n} sample {i} class {j}"
                         );
@@ -89,6 +90,56 @@ fn predict_batch_matches_per_sample_bitwise_for_ragged_sizes() {
     }
 }
 
+/// The row-ordering contract of `BatchResult::probabilities`: row `i`
+/// belongs to input sample `i` for **every** batch plan — in particular
+/// for plans whose final group is ragged, and for plans whose final group
+/// is small enough (< 8 rows) to take the per-sample matvec epilogue
+/// instead of the batched GEMM one. Each sample's probability row must be
+/// byte-identical to serving that sample alone, so any off-by-a-group row
+/// placement (the bug class this pins against) would both misclassify and
+/// mismatch bits.
+#[test]
+fn ragged_final_groups_keep_input_order() {
+    let m = model(5, 2, 4, 9);
+    let frozen = FrozenModel::freeze(&m);
+    let series = ragged_series(29, 2);
+    // One-sample-at-a-time oracle through the same serving surface.
+    let mut solo = ServeSession::builder(frozen.clone()).max_batch(1).build();
+    let oracle: Vec<(usize, Vec<u64>)> = series
+        .iter()
+        .map(|s| {
+            let r = solo.predict_batch(std::slice::from_ref(s)).unwrap();
+            (
+                r.predictions()[0],
+                r.probabilities_of(0).iter().map(|p| p.to_bits()).collect(),
+            )
+        })
+        .collect();
+    // 29 samples: max_batch 25 → final group of 4 (matvec epilogue),
+    // max_batch 21 → final group of 8 (GEMM epilogue boundary),
+    // max_batch 10 → final group of 9, max_batch 4 → ragged tail of 1.
+    for max_batch in [4usize, 10, 13, 21, 25, 29, 64] {
+        let mut session = ServeSession::builder(frozen.clone())
+            .batch_plan(BatchPlan::new(max_batch))
+            .build();
+        let result = session.predict_batch(&series).unwrap();
+        assert_eq!(result.len(), series.len());
+        for (i, (class, bits)) in oracle.iter().enumerate() {
+            assert_eq!(
+                result.predictions()[i],
+                *class,
+                "max_batch={max_batch} sample {i}"
+            );
+            let got: Vec<u64> = result
+                .probabilities_of(i)
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            assert_eq!(&got, bits, "max_batch={max_batch} sample {i}");
+        }
+    }
+}
+
 /// The per-sample serving form agrees with the batch form (and therefore
 /// with the training-side path) at every width.
 #[test]
@@ -96,14 +147,44 @@ fn predict_one_matches_batch_at_every_width() {
     let m = model(5, 3, 4, 7);
     let frozen = FrozenModel::freeze(&m);
     let series = ragged_series(12, 3);
-    let mut ws = ServeWorkspace::new();
+    let mut session = ServeSession::builder(frozen).build();
     let per_sample: Vec<usize> = series
         .iter()
-        .map(|s| frozen.predict_one(s, &mut ws).unwrap())
+        .map(|s| session.predict_one(s).unwrap().class())
         .collect();
     for threads in [1usize, 2, 8] {
-        let batched = dfr_pool::with_threads(threads, || frozen.predict_batch(&series).unwrap());
+        let batched: Vec<usize> = dfr_pool::with_threads(threads, || {
+            session
+                .predict_batch(&series)
+                .unwrap()
+                .predictions()
+                .to_vec()
+        });
         assert_eq!(batched, per_sample, "threads={threads}");
+    }
+}
+
+/// A session built with an explicit `.threads(..)` pin produces the same
+/// bits as one inheriting any ambient width — the pin is a resource
+/// control, not an arithmetic one.
+#[test]
+fn pinned_width_is_bit_identical_to_ambient() {
+    let m = model(6, 2, 3, 13);
+    let frozen = FrozenModel::freeze(&m);
+    let series = ragged_series(17, 2);
+    let mut ambient = ServeSession::builder(frozen.clone()).max_batch(5).build();
+    let expected: Vec<usize> = ambient
+        .predict_batch(&series)
+        .unwrap()
+        .predictions()
+        .to_vec();
+    for width in [1usize, 2, 8] {
+        let mut pinned = ServeSession::builder(frozen.clone())
+            .max_batch(5)
+            .threads(width)
+            .build();
+        let result = pinned.predict_batch(&series).unwrap();
+        assert_eq!(result.predictions(), &expected[..], "width={width}");
     }
 }
 
@@ -121,15 +202,16 @@ fn round_trip_preserves_predictions_bitwise() {
     assert_eq!(restored.diff(&frozen), None);
 
     let series = ragged_series(33, 2);
-    let plan = BatchPlan::new(8);
-    let (mut a, mut b) = (ServeState::new(), ServeState::new());
-    frozen.predict_batch_into(&series, &plan, &mut a).unwrap();
-    restored.predict_batch_into(&series, &plan, &mut b).unwrap();
-    assert_eq!(a.predictions(), b.predictions());
-    assert_eq!(a.probabilities(), b.probabilities());
+    let mut a = ServeSession::builder(frozen).max_batch(8).build();
+    let mut b = ServeSession::builder(restored).max_batch(8).build();
+    let ra = a.predict_batch(&series).unwrap();
+    let rb = b.predict_batch(&series).unwrap();
+    assert_eq!(ra.predictions(), rb.predictions());
+    assert_eq!(ra.probabilities(), rb.probabilities());
+    assert_eq!(ra.digest(), rb.digest());
 
     // The thawed classifier is the original, bit for bit.
-    let thawed = restored.thaw().unwrap();
+    let thawed = b.model().thaw().unwrap();
     assert_eq!(thawed, m);
 }
 
@@ -155,7 +237,8 @@ proptest! {
         let restored = FrozenModel::from_bytes(&frozen.to_bytes()).unwrap();
         prop_assert_eq!(restored.content_digest(), frozen.content_digest());
         let series = ragged_series(n, 2);
-        let got = restored.predict_batch(&series).unwrap();
+        let mut session = ServeSession::builder(restored).build();
+        let got: Vec<usize> = session.predict_batch(&series).unwrap().predictions().to_vec();
         for (i, s) in series.iter().enumerate() {
             prop_assert_eq!(got[i], m.predict(s).unwrap());
         }

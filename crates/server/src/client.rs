@@ -1,0 +1,128 @@
+//! A minimal blocking client for the DFR wire protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time
+//! (request ids are still checked, so a desynced server is detected
+//! rather than silently mis-paired). Load generators open one client per
+//! worker thread.
+
+use crate::error::ServerError;
+use crate::frame::{decode_response, read_frame, Request, Response, Status, DEFAULT_MAX_BODY};
+use dfr_linalg::Matrix;
+use std::io::{BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking, single-connection client.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+    frame: Vec<u8>,
+    next_id: u64,
+    max_body: usize,
+}
+
+/// A successful prediction as seen by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientPrediction {
+    /// The predicted class.
+    pub class: usize,
+    /// Class probabilities.
+    pub probabilities: Vec<f64>,
+    /// Content digest of the model that served.
+    pub digest: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: stream,
+            writer,
+            buf: Vec::new(),
+            frame: Vec::new(),
+            next_id: 1,
+            max_body: DEFAULT_MAX_BODY,
+        })
+    }
+
+    /// Sends one request and blocks for its response (raw form — exposes
+    /// every status).
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures, or
+    /// [`ServerError::UnexpectedResponse`] if the server answers with a
+    /// different request id.
+    pub fn request(&mut self, series: &Matrix, digest_pin: u64) -> Result<Response, ServerError> {
+        let request_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let req = Request {
+            request_id,
+            digest_pin,
+            series: series.clone(),
+        };
+        crate::frame::encode_request(&req, &mut self.frame);
+        self.writer.write_all(&self.frame)?;
+        self.writer.flush()?;
+        let body =
+            read_frame(&mut self.reader, &mut self.buf, self.max_body)?.ok_or_else(|| {
+                ServerError::UnexpectedResponse {
+                    detail: "connection closed before the response".into(),
+                }
+            })?;
+        let resp = decode_response(body)?;
+        if resp.request_id != request_id {
+            return Err(ServerError::UnexpectedResponse {
+                detail: format!(
+                    "response id {} for request id {request_id}",
+                    resp.request_id
+                ),
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Predicts against the server's **active** model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Rejected`] carrying the status (and retry hint, for
+    /// `Busy`) on any non-`Ok` response; transport/framing errors
+    /// otherwise.
+    pub fn predict(&mut self, series: &Matrix) -> Result<ClientPrediction, ServerError> {
+        self.predict_pinned(series, 0)
+    }
+
+    /// Predicts against a specific registered model (`digest_pin != 0`),
+    /// or the active one (`digest_pin == 0`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::predict`]; an unregistered pin surfaces as
+    /// [`ServerError::Rejected`] with [`Status::UnknownDigest`].
+    pub fn predict_pinned(
+        &mut self,
+        series: &Matrix,
+        digest_pin: u64,
+    ) -> Result<ClientPrediction, ServerError> {
+        let resp = self.request(series, digest_pin)?;
+        if resp.status != Status::Ok {
+            return Err(ServerError::Rejected {
+                status: resp.status,
+                retry_after_ms: resp.retry_after_ms,
+            });
+        }
+        Ok(ClientPrediction {
+            class: resp.class as usize,
+            probabilities: resp.probabilities,
+            digest: resp.digest,
+        })
+    }
+}

@@ -1,0 +1,140 @@
+//! Server-side error type unifying transport, framing and serving
+//! failures.
+
+use crate::frame::{FrameError, Status};
+use dfr_serve::ServeError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the server, the registry and the blocking client.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// A frame could not be read, written or decoded.
+    Frame(FrameError),
+    /// The serving layer rejected a request.
+    Serve(ServeError),
+    /// No model with this content digest is registered.
+    UnknownDigest {
+        /// The digest that failed to resolve.
+        digest: u64,
+    },
+    /// Retiring the active model is refused — activate a replacement
+    /// first so traffic is never left without a model.
+    RetireActive {
+        /// Digest of the still-active model.
+        digest: u64,
+    },
+    /// The server rejected the request (client-side view of a non-Ok
+    /// response).
+    Rejected {
+        /// The response status.
+        status: Status,
+        /// Backoff hint in milliseconds (0 when none was given).
+        retry_after_ms: u32,
+    },
+    /// The peer answered with something other than what was asked.
+    UnexpectedResponse {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "socket error: {e}"),
+            ServerError::Frame(e) => write!(f, "framing error: {e}"),
+            ServerError::Serve(e) => write!(f, "serving error: {e}"),
+            ServerError::UnknownDigest { digest } => {
+                write!(f, "no model registered under digest {digest:#018x}")
+            }
+            ServerError::RetireActive { digest } => write!(
+                f,
+                "refusing to retire the active model {digest:#018x}; activate a replacement first"
+            ),
+            ServerError::Rejected {
+                status,
+                retry_after_ms,
+            } => {
+                write!(f, "server rejected the request: {status}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
+            }
+            ServerError::UnexpectedResponse { detail } => {
+                write!(f, "unexpected response: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Frame(e) => Some(e),
+            ServerError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServerError {
+    fn from(e: FrameError) -> Self {
+        // An Io wrapped in a FrameError is still fundamentally a socket
+        // failure; keep the frame context anyway for the source chain.
+        ServerError::Frame(e)
+    }
+}
+
+impl From<ServeError> for ServerError {
+    fn from(e: ServeError) -> Self {
+        ServerError::Serve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServerError::from(io::Error::other("down"));
+        assert!(e.to_string().contains("socket"));
+        assert!(e.source().is_some());
+
+        let e = ServerError::from(FrameError::Oversized { len: 10, max: 5 });
+        assert!(e.to_string().contains("framing"));
+        assert!(e.source().is_some());
+
+        let e = ServerError::UnknownDigest { digest: 0xabc };
+        assert!(e.to_string().contains("0x0000000000000abc"));
+        assert!(e.source().is_none());
+
+        let e = ServerError::RetireActive { digest: 1 };
+        assert!(e.to_string().contains("retire"));
+
+        let e = ServerError::Rejected {
+            status: Status::Busy,
+            retry_after_ms: 120,
+        };
+        assert!(e.to_string().contains("busy"));
+        assert!(e.to_string().contains("120 ms"));
+
+        let e = ServerError::UnexpectedResponse {
+            detail: "id mismatch".into(),
+        };
+        assert!(e.to_string().contains("id mismatch"));
+    }
+}

@@ -1,0 +1,701 @@
+//! The wire protocol: length-prefixed binary frames with a versioned
+//! header.
+//!
+//! Every message on a connection is one *frame*:
+//!
+//! ```text
+//! frame := u32 body_len (LE) · body (body_len bytes)
+//! body  := u8 version (= 1) · u8 kind · u16 reserved (= 0) · u64 request_id
+//!          · kind-specific payload
+//! ```
+//!
+//! Request payload (`kind = 1`):
+//!
+//! ```text
+//! u64 digest_pin (0 = serve the active model) · u32 rows · u32 cols
+//! · rows·cols f64 (row-major series)
+//! ```
+//!
+//! Response payload (`kind = 2`):
+//!
+//! ```text
+//! u16 status · u16 reserved (= 0) · u32 retry_after_ms
+//! · u64 digest (content digest of the model that served, 0 if none)
+//! · u32 class · u32 num_classes · num_classes f64 (probabilities)
+//! ```
+//!
+//! All integers and floats are little-endian, matching the `FrozenModel`
+//! byte layout. The `version` byte is checked on every frame; a reader
+//! rejects frames whose declared body length exceeds its configured cap
+//! *before* buffering them, so a malicious length prefix cannot balloon
+//! memory. Decoding is total: any truncated, oversized or inconsistent
+//! frame produces a [`FrameError`], never a panic — pinned by the
+//! shrinking property suite in `tests/framing.rs`.
+
+use dfr_linalg::Matrix;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version byte every frame carries; bumped on any wire-layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on one frame's body length (4 MiB — a 64-class response is
+/// tiny, and a 4 MiB request holds a 500k-element series, far beyond any
+/// DFR workload; servers can configure their own cap).
+pub const DEFAULT_MAX_BODY: usize = 1 << 22;
+
+/// Frame kind: a prediction request.
+const KIND_REQUEST: u8 = 1;
+/// Frame kind: a prediction response.
+const KIND_RESPONSE: u8 = 2;
+
+/// Fixed header bytes common to both kinds.
+const HEADER_LEN: usize = 1 + 1 + 2 + 8;
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Status {
+    /// Served: `class` and `probabilities` are valid.
+    Ok = 0,
+    /// The admission queue was full — back off for `retry_after_ms` and
+    /// retry (explicit backpressure; the server never queues unboundedly).
+    Busy = 1,
+    /// The request could not be decoded (or violated a protocol limit).
+    Malformed = 2,
+    /// The pinned model digest is not registered on this server.
+    UnknownDigest = 3,
+    /// The model rejected the series (e.g. channel mismatch, divergence).
+    PredictFailed = 4,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown = 5,
+}
+
+impl Status {
+    /// The wire code of this status.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u16) -> Option<Status> {
+        match code {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::Malformed),
+            3 => Some(Status::UnknownDigest),
+            4 => Some(Status::PredictFailed),
+            5 => Some(Status::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Status::Ok => "ok",
+            Status::Busy => "busy",
+            Status::Malformed => "malformed",
+            Status::UnknownDigest => "unknown digest",
+            Status::PredictFailed => "predict failed",
+            Status::ShuttingDown => "shutting down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A decoded prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Content digest the client pins, or 0 to serve the active model.
+    pub digest_pin: u64,
+    /// The input series (`T × C`, row-major).
+    pub series: Matrix,
+}
+
+/// A decoded prediction response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed back.
+    pub request_id: u64,
+    /// Outcome of the request.
+    pub status: Status,
+    /// Backoff hint in milliseconds (meaningful with [`Status::Busy`]).
+    pub retry_after_ms: u32,
+    /// Content digest of the model that served (0 when nothing served).
+    pub digest: u64,
+    /// Predicted class (valid with [`Status::Ok`]).
+    pub class: u32,
+    /// Class probabilities (empty unless [`Status::Ok`]).
+    pub probabilities: Vec<f64>,
+}
+
+impl Response {
+    /// A successful response.
+    pub fn ok(request_id: u64, digest: u64, class: usize, probabilities: Vec<f64>) -> Response {
+        Response {
+            request_id,
+            status: Status::Ok,
+            retry_after_ms: 0,
+            digest,
+            class: class as u32,
+            probabilities,
+        }
+    }
+
+    /// A rejection with the given status (and optional retry hint).
+    pub fn reject(request_id: u64, status: Status, retry_after_ms: u32) -> Response {
+        Response {
+            request_id,
+            status,
+            retry_after_ms,
+            digest: 0,
+            class: 0,
+            probabilities: Vec::new(),
+        }
+    }
+}
+
+/// Errors produced by framing, encoding and decoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection in the middle of a frame.
+    TruncatedFrame {
+        /// Bytes the length prefix promised.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        found: usize,
+    },
+    /// The declared body length exceeds the reader's cap.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// The reader's configured cap.
+        max: usize,
+    },
+    /// A body ended before its declared fields.
+    TruncatedBody {
+        /// Offset at which the next field would start.
+        offset: usize,
+        /// Total body length.
+        len: usize,
+    },
+    /// A body carried more bytes than its fields account for.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// The frame's version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion {
+        /// The version byte received.
+        found: u8,
+    },
+    /// The frame's kind byte was not the expected one.
+    UnexpectedKind {
+        /// The kind byte received.
+        found: u8,
+        /// The kind the decoder was asked for.
+        expected: u8,
+    },
+    /// A request declared an empty or overflow-sized series shape.
+    BadShape {
+        /// Declared row count.
+        rows: u64,
+        /// Declared column count.
+        cols: u64,
+    },
+    /// A response carried an unknown status code.
+    BadStatus {
+        /// The status code received.
+        code: u16,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::TruncatedFrame { expected, found } => {
+                write!(
+                    f,
+                    "frame truncated: length prefix promised {expected} bytes, got {found}"
+                )
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::TruncatedBody { offset, len } => {
+                write!(
+                    f,
+                    "body truncated: field at offset {offset} in a {len}-byte body"
+                )
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "body carries {extra} trailing bytes beyond its declared fields"
+                )
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (expected {PROTOCOL_VERSION})"
+                )
+            }
+            FrameError::UnexpectedKind { found, expected } => {
+                write!(f, "unexpected frame kind {found} (expected {expected})")
+            }
+            FrameError::BadShape { rows, cols } => {
+                write!(f, "bad series shape {rows}x{cols}")
+            }
+            FrameError::BadStatus { code } => write!(f, "unknown status code {code}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + body) and flushes.
+///
+/// # Errors
+///
+/// Any transport error from the writer.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body into `buf` (reused across calls) and returns it,
+/// or `None` on a clean end-of-stream at a frame boundary.
+///
+/// The declared length is checked against `max_body` **before** any body
+/// byte is buffered, so a hostile length prefix cannot force a large
+/// allocation.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] for a length prefix beyond the cap,
+/// [`FrameError::TruncatedFrame`] for EOF inside a frame, and
+/// [`FrameError::Io`] for transport failures.
+pub fn read_frame<'b>(
+    r: &mut impl Read,
+    buf: &'b mut Vec<u8>,
+    max_body: usize,
+) -> Result<Option<&'b [u8]>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        0 => return Ok(None), // clean EOF between frames
+        4 => {}
+        n => {
+            return Err(FrameError::TruncatedFrame {
+                expected: 4,
+                found: n,
+            })
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_body {
+        return Err(FrameError::Oversized { len, max: max_body });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    let got = read_exact_or_eof(r, buf)?;
+    if got != len {
+        return Err(FrameError::TruncatedFrame {
+            expected: len,
+            found: got,
+        });
+    }
+    Ok(Some(buf.as_slice()))
+}
+
+/// Reads until `buf` is full or EOF; returns the byte count actually read.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Encodes a request as a complete frame (length prefix included) into
+/// `out` (cleared first, allocation reused at its high-water mark).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    let rows = req.series.rows();
+    let cols = req.series.cols();
+    let body_len = HEADER_LEN + 8 + 4 + 4 + 8 * rows * cols;
+    out.clear();
+    out.reserve(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(KIND_REQUEST);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&req.request_id.to_le_bytes());
+    out.extend_from_slice(&req.digest_pin.to_le_bytes());
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    for &v in req.series.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes a response as a complete frame (length prefix included) into
+/// `out` (cleared first).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    let body_len = HEADER_LEN + 2 + 2 + 4 + 8 + 4 + 4 + 8 * resp.probabilities.len();
+    out.clear();
+    out.reserve(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(KIND_RESPONSE);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&resp.request_id.to_le_bytes());
+    out.extend_from_slice(&resp.status.code().to_le_bytes());
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&resp.retry_after_ms.to_le_bytes());
+    out.extend_from_slice(&resp.digest.to_le_bytes());
+    out.extend_from_slice(&resp.class.to_le_bytes());
+    out.extend_from_slice(&(resp.probabilities.len() as u32).to_le_bytes());
+    for &p in &resp.probabilities {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+}
+
+/// A bounds-checked reader over one frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Cursor { body, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.off.checked_add(n).filter(|&e| e <= self.body.len());
+        match end {
+            Some(end) => {
+                let s = &self.body[self.off..end];
+                self.off = end;
+                Ok(s)
+            }
+            None => Err(FrameError::TruncatedBody {
+                offset: self.off,
+                len: self.body.len(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, FrameError> {
+        let bytes = self.take(8 * n)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|ch| f64::from_le_bytes(ch.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.off == self.body.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes {
+                extra: self.body.len() - self.off,
+            })
+        }
+    }
+}
+
+/// Decodes the shared header, returning the request id.
+fn decode_header(c: &mut Cursor<'_>, expected_kind: u8) -> Result<u64, FrameError> {
+    let version = c.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let kind = c.u8()?;
+    if kind != expected_kind {
+        return Err(FrameError::UnexpectedKind {
+            found: kind,
+            expected: expected_kind,
+        });
+    }
+    c.u16()?; // reserved
+    c.u64()
+}
+
+/// Decodes a request body (the frame's payload, without the length
+/// prefix).
+///
+/// # Errors
+///
+/// [`FrameError`] naming the first malformed element: wrong version or
+/// kind, truncated fields, an empty or overflowing shape, or a payload
+/// whose length disagrees with `rows × cols`.
+pub fn decode_request(body: &[u8]) -> Result<Request, FrameError> {
+    let mut c = Cursor::new(body);
+    let request_id = decode_header(&mut c, KIND_REQUEST)?;
+    let digest_pin = c.u64()?;
+    let rows = c.u32()? as u64;
+    let cols = c.u32()? as u64;
+    // Reject empty and overflow-prone shapes before any multiplication
+    // can wrap: the frame cap (u32 body length) bounds real payloads far
+    // below this anyway.
+    if rows == 0 || cols == 0 || rows.saturating_mul(cols) > (u32::MAX as u64) / 8 {
+        return Err(FrameError::BadShape { rows, cols });
+    }
+    let elements = (rows * cols) as usize;
+    let data = c.f64s(elements)?;
+    c.finish()?;
+    let series = Matrix::from_vec(rows as usize, cols as usize, data)
+        .expect("element count checked against shape");
+    Ok(Request {
+        request_id,
+        digest_pin,
+        series,
+    })
+}
+
+/// Decodes a response body (the frame's payload, without the length
+/// prefix).
+///
+/// # Errors
+///
+/// [`FrameError`] naming the first malformed element.
+pub fn decode_response(body: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cursor::new(body);
+    let request_id = decode_header(&mut c, KIND_RESPONSE)?;
+    let code = c.u16()?;
+    let status = Status::from_code(code).ok_or(FrameError::BadStatus { code })?;
+    c.u16()?; // reserved
+    let retry_after_ms = c.u32()?;
+    let digest = c.u64()?;
+    let class = c.u32()?;
+    let num_classes = c.u32()? as usize;
+    if num_classes > body.len() / 8 + 1 {
+        // cheap pre-check so a hostile count cannot demand a giant vec
+        return Err(FrameError::TruncatedBody {
+            offset: c.off,
+            len: body.len(),
+        });
+    }
+    let probabilities = c.f64s(num_classes)?;
+    c.finish()?;
+    Ok(Response {
+        request_id,
+        status,
+        retry_after_ms,
+        digest,
+        class,
+        probabilities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> Request {
+        Request {
+            request_id: 42,
+            digest_pin: 0xdead_beef,
+            series: Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.3, 4.0, -5.0, 6.5]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = request();
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        // Strip the length prefix to get the body, as a reader would.
+        let body = &frame[4..];
+        assert_eq!(
+            u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok(7, 0x1234, 2, vec![0.1, 0.2, 0.7]);
+        let mut frame = Vec::new();
+        encode_response(&resp, &mut frame);
+        assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
+
+        let busy = Response::reject(8, Status::Busy, 250);
+        encode_response(&busy, &mut frame);
+        let got = decode_response(&frame[4..]).unwrap();
+        assert_eq!(got, busy);
+        assert_eq!(got.retry_after_ms, 250);
+    }
+
+    #[test]
+    fn truncations_are_rejected_not_panics() {
+        let mut frame = Vec::new();
+        encode_request(&request(), &mut frame);
+        let body = &frame[4..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_payload_disagreement_is_rejected() {
+        let mut frame = Vec::new();
+        encode_request(&request(), &mut frame);
+        let mut body = frame[4..].to_vec();
+        // Bump the declared row count: payload no longer covers the shape.
+        body[HEADER_LEN + 8] += 1;
+        assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::TruncatedBody { .. })
+        ));
+        // Zero rows is rejected outright.
+        let zero = 0u32.to_le_bytes();
+        body[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&zero);
+        assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::BadShape { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_kind_and_status_are_rejected() {
+        let mut frame = Vec::new();
+        encode_request(&request(), &mut frame);
+        let mut body = frame[4..].to_vec();
+        body[0] = 9;
+        assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::UnsupportedVersion { found: 9 })
+        ));
+        body[0] = PROTOCOL_VERSION;
+        assert!(matches!(
+            decode_response(&body),
+            Err(FrameError::UnexpectedKind { .. })
+        ));
+
+        let resp = Response::reject(1, Status::Malformed, 0);
+        encode_response(&resp, &mut frame);
+        let mut body = frame[4..].to_vec();
+        body[HEADER_LEN] = 99;
+        assert!(matches!(
+            decode_response(&body),
+            Err(FrameError::BadStatus { code: 99 })
+        ));
+    }
+
+    #[test]
+    fn read_frame_respects_the_cap_and_eof() {
+        let mut frame = Vec::new();
+        encode_request(&request(), &mut frame);
+        let mut buf = Vec::new();
+
+        // Normal read.
+        let mut r = frame.as_slice();
+        let body = read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert!(decode_request(body).is_ok());
+        // Clean EOF afterwards.
+        assert!(read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY)
+            .unwrap()
+            .is_none());
+
+        // Cap below the body length → Oversized before buffering.
+        let mut r = frame.as_slice();
+        assert!(matches!(
+            read_frame(&mut r, &mut buf, 8),
+            Err(FrameError::Oversized { .. })
+        ));
+
+        // EOF inside the body → TruncatedFrame.
+        let mut r = &frame[..frame.len() - 3];
+        assert!(matches!(
+            read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY),
+            Err(FrameError::TruncatedFrame { .. })
+        ));
+
+        // EOF inside the length prefix → TruncatedFrame.
+        let mut r = &frame[..2];
+        assert!(matches!(
+            read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY),
+            Err(FrameError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = Vec::new();
+        encode_request(&request(), &mut frame);
+        let mut body = frame[4..].to_vec();
+        body.push(0);
+        assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = FrameError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("transport"));
+        assert!(e.source().is_some());
+        assert!(FrameError::Oversized { len: 9, max: 8 }.source().is_none());
+        assert!(Status::from_code(99).is_none());
+        assert_eq!(Status::Busy.to_string(), "busy");
+        assert_eq!(Status::from_code(Status::Ok.code()), Some(Status::Ok));
+    }
+}

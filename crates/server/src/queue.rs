@@ -1,0 +1,255 @@
+//! The bounded admission queue with deadline-based batch coalescing.
+//!
+//! Admission is the server's backpressure boundary: [`AdmissionQueue`]
+//! holds at most `capacity` pending requests, and [`AdmissionQueue::try_push`]
+//! **fails fast** when full instead of queueing unboundedly — the
+//! connection layer turns that into a `Busy` response with a retry hint,
+//! so overload is visible to clients instead of silently inflating
+//! latency.
+//!
+//! The consuming side is the batch coalescer:
+//! [`AdmissionQueue::fill_batch`] blocks until work exists, then keeps
+//! filling the batch until either `max_batch` items are collected or the
+//! **oldest** collected item has waited `budget` — the deadline is
+//! `first_item.enqueued_at + budget`, so the latency a request can lose
+//! to coalescing is bounded by the budget regardless of traffic shape.
+//! An idle queue sleeps on a condvar (no spinning); a saturated queue
+//! fills whole batches without waiting at all.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why [`AdmissionQueue::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity — explicit backpressure; retry later.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<(Instant, T)>,
+    closed: bool,
+}
+
+/// A bounded MPSC admission queue with deadline-based batch draining.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending items
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (racy — informational only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy — informational only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to admit `item`, stamping its arrival time.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Full`] at capacity (the item is returned to the
+    /// caller untouched via the error — callers still own their request
+    /// state and can answer `Busy`), [`AdmitError::Closed`] after
+    /// [`AdmissionQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), (T, AdmitError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, AdmitError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, AdmitError::Full));
+        }
+        inner.items.push_back((Instant::now(), item));
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Drains up to `max_batch` items into `out` (cleared first),
+    /// coalescing under the latency `budget`: blocks until at least one
+    /// item exists, then keeps collecting until the batch is full or the
+    /// **first** collected item's age reaches `budget`.
+    ///
+    /// Returns `false` when the queue is closed **and** drained — the
+    /// consumer's signal to exit. A `true` return always carries at least
+    /// one item.
+    pub fn fill_batch(&self, out: &mut Vec<T>, max_batch: usize, budget: Duration) -> bool {
+        let max_batch = max_batch.max(1);
+        out.clear();
+        let mut inner = self.inner.lock().unwrap();
+        // Phase 1: wait for any work at all.
+        loop {
+            if let Some((enqueued_at, item)) = inner.items.pop_front() {
+                out.push(item);
+                // Deadline keyed to the oldest member of THIS batch: its
+                // total coalescing delay is what the budget bounds.
+                let deadline = enqueued_at + budget;
+                // Phase 2: coalesce until full or the deadline passes.
+                while out.len() < max_batch {
+                    if let Some((_, item)) = inner.items.pop_front() {
+                        out.push(item);
+                        continue;
+                    }
+                    if inner.closed {
+                        return true; // serve what we have; exit next call
+                    }
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        break; // deadline passed: serve the batch as-is
+                    };
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, timeout) = self.nonempty.wait_timeout(inner, remaining).unwrap();
+                    inner = guard;
+                    if timeout.timed_out() && inner.items.is_empty() {
+                        break;
+                    }
+                }
+                return true;
+            }
+            if inner.closed {
+                return false;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending items remain drainable, new pushes fail
+    /// with [`AdmitError::Closed`], and blocked consumers wake up.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn backpressure_is_explicit_at_capacity() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err((item, AdmitError::Full)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining frees capacity again.
+        let mut out = Vec::new();
+        assert!(q.fill_batch(&mut out, 8, Duration::ZERO));
+        assert_eq!(out, vec![1, 2]);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn fill_batch_caps_at_max_batch_in_fifo_order() {
+        let q = AdmissionQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.fill_batch(&mut out, 4, Duration::from_millis(50)));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(q.fill_batch(&mut out, 4, Duration::from_millis(50)));
+        assert_eq!(out, vec![4, 5, 6, 7]);
+        assert!(q.fill_batch(&mut out, 4, Duration::from_millis(0)));
+        assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn coalescer_waits_out_the_budget_for_late_arrivals() {
+        let q = Arc::new(AdmissionQueue::new(16));
+        q.try_push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                q.try_push(1).unwrap();
+            })
+        };
+        let mut out = Vec::new();
+        // Generous budget: the batch should pick up the late arrival
+        // instead of serving the first item alone.
+        assert!(q.fill_batch(&mut out, 2, Duration::from_secs(5)));
+        producer.join().unwrap();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn coalescer_deadline_bounds_the_wait() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        q.try_push(7).unwrap();
+        let start = Instant::now();
+        let mut out = Vec::new();
+        assert!(q.fill_batch(&mut out, 4, Duration::from_millis(30)));
+        assert_eq!(out, vec![7]);
+        // The single item must be released roughly at the budget, not
+        // held indefinitely waiting for a full batch.
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline did not bound the coalescing wait"
+        );
+    }
+
+    #[test]
+    fn close_wakes_consumers_and_drains_leftovers() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut seen = Vec::new();
+                while q.fill_batch(&mut out, 4, Duration::from_millis(1)) {
+                    seen.extend(out.iter().copied());
+                }
+                seen
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(3), Err((3, AdmitError::Closed))));
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err((2, AdmitError::Full))));
+    }
+}

@@ -1,0 +1,239 @@
+//! The digest-keyed model registry with atomic hot-swap.
+//!
+//! Every [`FrozenModel`] is keyed by its content digest (the FNV-1a-64
+//! trailer of its byte layout), so "which model served this request" is
+//! always answerable from a response's `digest` field and a retrained
+//! model is a *new* key — publishing can never silently mutate what an
+//! old digest pin resolves to.
+//!
+//! [`ModelRegistry::publish`] registers and activates in one write-lock
+//! critical section: requests batched before the swap serve the old
+//! model, requests batched after serve the new one, and no batch ever
+//! observes a half-updated registry. Old models stay resolvable (for
+//! clients that pinned their digest) until explicitly
+//! [retired](ModelRegistry::retire); retiring the *active* model is
+//! refused so live traffic is never left without a model.
+
+use crate::error::ServerError;
+use dfr_serve::FrozenModel;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+struct Inner {
+    models: HashMap<u64, Arc<FrozenModel>>,
+    active: u64,
+}
+
+/// A concurrent, digest-keyed store of frozen models with one *active*
+/// model serving unpinned traffic.
+pub struct ModelRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry with `model` registered and active.
+    pub fn new(model: FrozenModel) -> Self {
+        let model = Arc::new(model);
+        let digest = model.content_digest();
+        let mut models = HashMap::new();
+        models.insert(digest, model);
+        ModelRegistry {
+            inner: RwLock::new(Inner {
+                models,
+                active: digest,
+            }),
+        }
+    }
+
+    /// Registers `model` without activating it, returning its digest.
+    /// Re-registering an identical model is a no-op (same digest, same
+    /// bytes).
+    pub fn register(&self, model: FrozenModel) -> u64 {
+        let model = Arc::new(model);
+        let digest = model.content_digest();
+        self.inner
+            .write()
+            .unwrap()
+            .models
+            .entry(digest)
+            .or_insert(model);
+        digest
+    }
+
+    /// Registers `model` **and** makes it the active model, atomically —
+    /// the hot-swap entry point for a freshly retrained model. Returns
+    /// its digest.
+    pub fn publish(&self, model: FrozenModel) -> u64 {
+        let model = Arc::new(model);
+        let digest = model.content_digest();
+        let mut inner = self.inner.write().unwrap();
+        inner.models.entry(digest).or_insert(model);
+        inner.active = digest;
+        digest
+    }
+
+    /// Makes an already-registered model the active one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownDigest`] if nothing is registered under
+    /// `digest`.
+    pub fn activate(&self, digest: u64) -> Result<(), ServerError> {
+        let mut inner = self.inner.write().unwrap();
+        if !inner.models.contains_key(&digest) {
+            return Err(ServerError::UnknownDigest { digest });
+        }
+        inner.active = digest;
+        Ok(())
+    }
+
+    /// The active model (always present — the registry is constructed
+    /// with one and the active model cannot be retired).
+    pub fn active(&self) -> Arc<FrozenModel> {
+        let inner = self.inner.read().unwrap();
+        Arc::clone(
+            inner
+                .models
+                .get(&inner.active)
+                .expect("active model is always registered"),
+        )
+    }
+
+    /// Digest of the active model.
+    pub fn active_digest(&self) -> u64 {
+        self.inner.read().unwrap().active
+    }
+
+    /// Looks up a model by digest.
+    pub fn get(&self, digest: u64) -> Option<Arc<FrozenModel>> {
+        self.inner.read().unwrap().models.get(&digest).cloned()
+    }
+
+    /// Resolves a request's digest pin: 0 means "the active model",
+    /// anything else must be registered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownDigest`] for an unregistered non-zero pin.
+    pub fn resolve(&self, digest_pin: u64) -> Result<Arc<FrozenModel>, ServerError> {
+        if digest_pin == 0 {
+            return Ok(self.active());
+        }
+        self.get(digest_pin)
+            .ok_or(ServerError::UnknownDigest { digest: digest_pin })
+    }
+
+    /// Whether a model is registered under `digest`.
+    pub fn contains(&self, digest: u64) -> bool {
+        self.inner.read().unwrap().models.contains_key(&digest)
+    }
+
+    /// Removes a retired model so pinned clients get `UnknownDigest`
+    /// instead of stale parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::RetireActive`] when `digest` is the active model
+    /// (activate a replacement first), [`ServerError::UnknownDigest`]
+    /// when nothing is registered under it.
+    pub fn retire(&self, digest: u64) -> Result<(), ServerError> {
+        let mut inner = self.inner.write().unwrap();
+        if digest == inner.active {
+            return Err(ServerError::RetireActive { digest });
+        }
+        if inner.models.remove(&digest).is_none() {
+            return Err(ServerError::UnknownDigest { digest });
+        }
+        Ok(())
+    }
+
+    /// All registered digests, sorted (deterministic listing).
+    pub fn digests(&self) -> Vec<u64> {
+        let mut d: Vec<u64> = self.inner.read().unwrap().models.keys().copied().collect();
+        d.sort_unstable();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfr_core::DfrClassifier;
+
+    fn frozen(tweak: f64) -> FrozenModel {
+        let mut m = DfrClassifier::paper_default(5, 2, 3, 1).unwrap();
+        m.reservoir_mut().set_params(0.05, 0.1).unwrap();
+        m.w_out_mut()[(0, 2)] = tweak;
+        FrozenModel::freeze(&m)
+    }
+
+    #[test]
+    fn publish_hot_swaps_the_active_model_atomically() {
+        let a = frozen(0.1);
+        let b = frozen(0.2);
+        let (da, db) = (a.content_digest(), b.content_digest());
+        assert_ne!(da, db);
+
+        let reg = ModelRegistry::new(a);
+        assert_eq!(reg.active_digest(), da);
+        assert_eq!(reg.resolve(0).unwrap().content_digest(), da);
+
+        assert_eq!(reg.publish(b), db);
+        assert_eq!(reg.active_digest(), db);
+        assert_eq!(reg.resolve(0).unwrap().content_digest(), db);
+        // The old model stays resolvable for digest-pinned clients.
+        assert_eq!(reg.resolve(da).unwrap().content_digest(), da);
+        assert_eq!(reg.digests().len(), 2);
+    }
+
+    #[test]
+    fn register_does_not_activate_and_activate_requires_registration() {
+        let a = frozen(0.1);
+        let b = frozen(0.2);
+        let (da, db) = (a.content_digest(), b.content_digest());
+        let reg = ModelRegistry::new(a);
+        assert_eq!(reg.register(b), db);
+        assert_eq!(reg.active_digest(), da, "register must not activate");
+        reg.activate(db).unwrap();
+        assert_eq!(reg.active_digest(), db);
+        assert!(matches!(
+            reg.activate(0xdead),
+            Err(ServerError::UnknownDigest { digest: 0xdead })
+        ));
+    }
+
+    #[test]
+    fn resolve_pins_and_rejects_unknown_digests() {
+        let a = frozen(0.3);
+        let da = a.content_digest();
+        let reg = ModelRegistry::new(a);
+        assert_eq!(reg.resolve(da).unwrap().content_digest(), da);
+        assert!(matches!(
+            reg.resolve(42),
+            Err(ServerError::UnknownDigest { digest: 42 })
+        ));
+        assert!(reg.contains(da));
+        assert!(!reg.contains(42));
+        assert!(reg.get(42).is_none());
+    }
+
+    #[test]
+    fn retire_refuses_the_active_model() {
+        let a = frozen(0.1);
+        let b = frozen(0.2);
+        let (da, db) = (a.content_digest(), b.content_digest());
+        let reg = ModelRegistry::new(a);
+        reg.publish(b);
+        assert!(matches!(
+            reg.retire(db),
+            Err(ServerError::RetireActive { .. })
+        ));
+        reg.retire(da).unwrap();
+        assert!(!reg.contains(da));
+        assert!(matches!(
+            reg.retire(da),
+            Err(ServerError::UnknownDigest { .. })
+        ));
+        assert_eq!(reg.digests(), vec![db]);
+    }
+}

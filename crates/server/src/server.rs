@@ -1,0 +1,464 @@
+//! The serving loop: accept → frame → admit → coalesce → predict →
+//! respond.
+//!
+//! Thread shape (all on `std` primitives — no async runtime):
+//!
+//! * one **accept** thread owning the listener;
+//! * per connection, a detached **reader** (frames in, requests into the
+//!   admission queue) and a detached **writer** (pre-encoded response
+//!   frames out, fed over an `mpsc` channel so readers and the batcher
+//!   never block on a slow client socket);
+//! * one **batcher** thread draining the queue with the deadline
+//!   coalescer and serving each batch through per-digest
+//!   [`ServeSession`]s.
+//!
+//! Determinism under hot-swap: the batcher resolves the active model
+//! **once per batch**, so a [`ModelRegistry::publish`] lands exactly on
+//! a batch boundary — every request in a batch is served by one model
+//! and stamped with its digest. Within a digest the batch is served in
+//! admission order through `ServeSession::predict_batch`, whose results
+//! are bitwise identical to any other grouping of the same samples
+//! (`DESIGN.md` §11), so coalescing never changes a client's bytes.
+
+use crate::error::ServerError;
+use crate::frame::{decode_request, encode_response, read_frame, FrameError, Response, Status};
+use crate::queue::{AdmissionQueue, AdmitError};
+use crate::registry::ModelRegistry;
+use dfr_linalg::Matrix;
+use dfr_serve::{BatchPlan, ServeSession, ServeSessionBuilder};
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most samples one coalesced batch may carry (also the serving
+    /// sessions' `BatchPlan` bound). Default 64.
+    pub max_batch: usize,
+    /// Latency budget of the batch coalescer: a request waits at most
+    /// this long for companions before its batch is served. Default 2 ms.
+    pub batch_deadline: Duration,
+    /// Admission queue capacity; requests beyond it are rejected with
+    /// `Busy` + a retry hint instead of queueing unboundedly. Default
+    /// 1024.
+    pub queue_capacity: usize,
+    /// Cap on one request frame's body length. Default
+    /// [`crate::frame::DEFAULT_MAX_BODY`].
+    pub max_frame_body: usize,
+    /// Pool width pinned onto the serving sessions (`None` inherits the
+    /// ambient `dfr_pool` sizing — `DFR_THREADS`, then available cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 64,
+            batch_deadline: Duration::from_millis(2),
+            queue_capacity: 1024,
+            max_frame_body: crate::frame::DEFAULT_MAX_BODY,
+            threads: None,
+        }
+    }
+}
+
+/// Monotonic serving counters (relaxed atomics — informational).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    rejected_busy: AtomicU64,
+    malformed: AtomicU64,
+    unknown_digest: AtomicU64,
+    batches: AtomicU64,
+    served: AtomicU64,
+    predict_failures: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests rejected with `Busy` (queue full).
+    pub rejected_busy: u64,
+    /// Frames or requests that failed to decode.
+    pub malformed: u64,
+    /// Requests pinning an unregistered digest.
+    pub unknown_digest: u64,
+    /// Batches the coalescer served.
+    pub batches: u64,
+    /// Requests answered `Ok`.
+    pub served: u64,
+    /// Requests answered `PredictFailed`.
+    pub predict_failures: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            unknown_digest: self.unknown_digest.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            predict_failures: self.predict_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted request, carrying its reply channel.
+struct Job {
+    request_id: u64,
+    digest_pin: u64,
+    series: Matrix,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// The TCP serving front-end. Constructed with [`Server::bind`]; the
+/// returned handle owns the accept and batcher threads and shuts both
+/// down on [`Server::shutdown`] or drop.
+pub struct Server {
+    local_addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
+    queue: Arc<AdmissionQueue<Job>>,
+    stats: Arc<ServerStats>,
+    shutting_down: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept and batcher threads serving models from `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the bind fails.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let stats = Arc::new(ServerStats::default());
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let shutting_down = Arc::clone(&shutting_down);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("dfr-server-accept".into())
+                .spawn(move || accept_loop(listener, queue, stats, shutting_down, config))
+                .expect("spawn accept thread")
+        };
+
+        let batcher_thread = {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let registry = Arc::clone(&registry);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("dfr-server-batcher".into())
+                .spawn(move || batcher_loop(queue, registry, stats, config))
+                .expect("spawn batcher thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            registry,
+            queue,
+            stats,
+            shutting_down,
+            accept_thread: Some(accept_thread),
+            batcher_thread: Some(batcher_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry this server serves from — publish to it to hot-swap
+    /// the model under live traffic.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops admitting, drains the queue, and joins the accept and
+    /// batcher threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close admission first so readers answer ShuttingDown, then
+        // wake the accept loop with a throwaway connection.
+        self.queue.close();
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<AdmissionQueue<Job>>,
+    stats: Arc<ServerStats>,
+    shutting_down: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    for stream in listener.incoming() {
+        if shutting_down.load(Ordering::SeqCst) {
+            break; // the waking connection (or any racer) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let queue = Arc::clone(&queue);
+        let stats = Arc::clone(&stats);
+        let config = config.clone();
+        // Detached: exits on client EOF, socket error, or queue close.
+        let _ = thread::Builder::new()
+            .name("dfr-server-conn".into())
+            .spawn(move || connection_loop(stream, queue, stats, config));
+    }
+}
+
+/// Reads frames off one connection, admits requests, and spawns the
+/// paired writer draining pre-encoded response frames.
+fn connection_loop(
+    stream: TcpStream,
+    queue: Arc<AdmissionQueue<Job>>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = thread::Builder::new()
+        .name("dfr-server-conn-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            // Frames already carry their length prefix; write_frame is
+            // for bodies, so write whole frames directly.
+            while let Ok(frame) = reply_rx.recv() {
+                use std::io::Write;
+                if w.write_all(&frame).and_then(|()| w.flush()).is_err() {
+                    break; // client gone; drain nothing further
+                }
+            }
+        });
+
+    let mut read_half = &stream;
+    let mut buf = Vec::new();
+    let mut scratch = Vec::new();
+    let retry_hint_ms = (config.batch_deadline.as_millis() as u32).max(1);
+    loop {
+        match read_frame(&mut read_half, &mut buf, config.max_frame_body) {
+            Ok(None) => break, // clean EOF
+            Ok(Some(body)) => match decode_request(body) {
+                Ok(req) => {
+                    let job = Job {
+                        request_id: req.request_id,
+                        digest_pin: req.digest_pin,
+                        series: req.series,
+                        reply: reply_tx.clone(),
+                    };
+                    match queue.try_push(job) {
+                        Ok(()) => {
+                            stats.admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err((job, AdmitError::Full)) => {
+                            stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                            let resp =
+                                Response::reject(job.request_id, Status::Busy, retry_hint_ms);
+                            encode_response(&resp, &mut scratch);
+                            let _ = job.reply.send(scratch.clone());
+                        }
+                        Err((job, AdmitError::Closed)) => {
+                            let resp = Response::reject(job.request_id, Status::ShuttingDown, 0);
+                            encode_response(&resp, &mut scratch);
+                            let _ = job.reply.send(scratch.clone());
+                            break;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // The frame boundary is intact, so the stream stays
+                    // usable; answer Malformed and keep reading.
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::reject(0, Status::Malformed, 0);
+                    encode_response(&resp, &mut scratch);
+                    let _ = reply_tx.send(scratch.clone());
+                }
+            },
+            Err(FrameError::Oversized { .. }) => {
+                // The body was never consumed — the stream is desynced.
+                // Best-effort rejection, then close.
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::reject(0, Status::Malformed, 0);
+                encode_response(&resp, &mut scratch);
+                let _ = reply_tx.send(scratch.clone());
+                break;
+            }
+            Err(_) => break, // truncated mid-frame or socket error
+        }
+    }
+    // Dropping the last sender ends the writer once in-flight responses
+    // (still referenced by queued Jobs) are answered and dropped.
+    drop(reply_tx);
+    let _ = stream.shutdown(std::net::Shutdown::Read);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}
+
+/// Drains the admission queue with the deadline coalescer and serves
+/// each batch through per-digest sessions.
+fn batcher_loop(
+    queue: Arc<AdmissionQueue<Job>>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+) {
+    let mut sessions: HashMap<u64, ServeSession> = HashMap::new();
+    let mut batch: Vec<Job> = Vec::new();
+    let mut frame = Vec::new();
+    while queue.fill_batch(&mut batch, config.max_batch, config.batch_deadline) {
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        // One registry read per batch: a publish() lands exactly on a
+        // batch boundary, never mid-batch.
+        let active = registry.active();
+        let active_digest = active.content_digest();
+
+        // Partition by resolved digest, preserving admission order
+        // within each digest (first-occurrence order across digests).
+        let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
+        for job in batch.drain(..) {
+            let digest = if job.digest_pin == 0 {
+                active_digest
+            } else {
+                job.digest_pin
+            };
+            if digest != active_digest && !registry.contains(digest) {
+                stats.unknown_digest.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::reject(job.request_id, Status::UnknownDigest, 0);
+                encode_response(&resp, &mut frame);
+                let _ = job.reply.send(frame.clone());
+                continue;
+            }
+            match groups.iter_mut().find(|(d, _)| *d == digest) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((digest, vec![job])),
+            }
+        }
+
+        for (digest, jobs) in groups {
+            let model = if digest == active_digest {
+                Arc::clone(&active)
+            } else {
+                match registry.get(digest) {
+                    Some(m) => m,
+                    None => {
+                        // Retired between partitioning and serving.
+                        for job in jobs {
+                            stats.unknown_digest.fetch_add(1, Ordering::Relaxed);
+                            let resp = Response::reject(job.request_id, Status::UnknownDigest, 0);
+                            encode_response(&resp, &mut frame);
+                            let _ = job.reply.send(frame.clone());
+                        }
+                        continue;
+                    }
+                }
+            };
+            let session = sessions.entry(digest).or_insert_with(|| {
+                let mut b =
+                    ServeSessionBuilder::shared(model).batch_plan(BatchPlan::new(config.max_batch));
+                if let Some(t) = config.threads {
+                    b = b.threads(t);
+                }
+                b.build()
+            });
+            serve_group(session, &jobs, &stats, &mut frame);
+        }
+
+        // Sessions for retired digests hold the last Arc to their model;
+        // drop them so retirement actually frees parameters.
+        sessions.retain(|digest, _| registry.contains(*digest));
+    }
+}
+
+/// Serves one digest-homogeneous group and replies to every job.
+fn serve_group(session: &mut ServeSession, jobs: &[Job], stats: &ServerStats, frame: &mut Vec<u8>) {
+    let series: Vec<Matrix> = jobs.iter().map(|j| j.series.clone()).collect();
+    match session.predict_batch(&series) {
+        Ok(result) => {
+            for (i, job) in jobs.iter().enumerate() {
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::ok(
+                    job.request_id,
+                    result.digest(),
+                    result.predictions()[i],
+                    result.probabilities_of(i).to_vec(),
+                );
+                encode_response(&resp, frame);
+                let _ = job.reply.send(frame.clone());
+            }
+        }
+        Err(_) => {
+            // At least one sample is bad; isolate it by serving the
+            // group per-sample so healthy requests still get answers.
+            for job in jobs {
+                match session.predict_one(&job.series) {
+                    Ok(pred) => {
+                        stats.served.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::ok(
+                            job.request_id,
+                            pred.digest(),
+                            pred.class(),
+                            pred.probabilities().to_vec(),
+                        );
+                        encode_response(&resp, frame);
+                        let _ = job.reply.send(frame.clone());
+                    }
+                    Err(_) => {
+                        stats.predict_failures.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::reject(job.request_id, Status::PredictFailed, 0);
+                        encode_response(&resp, frame);
+                        let _ = job.reply.send(frame.clone());
+                    }
+                }
+            }
+        }
+    }
+}

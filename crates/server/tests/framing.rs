@@ -1,0 +1,211 @@
+//! Property suite for the wire protocol: random requests and responses
+//! round-trip bitwise through encode → frame → decode, and every
+//! mutation class (truncation, bit flips in the header, hostile length
+//! prefixes, trailing garbage) is rejected with a typed error — never a
+//! panic, never a silently wrong decode.
+
+use dfr_linalg::Matrix;
+use dfr_server::frame::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, FrameError,
+    Request, Response, Status, DEFAULT_MAX_BODY,
+};
+use proptest::prelude::*;
+
+fn series(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|k| ((k as f64 + seed as f64) * 0.7311).sin() * 3.0)
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests round-trip bitwise: ids, pins, shape and every f64 of
+    /// the payload (including values produced by transcendentals).
+    #[test]
+    fn requests_round_trip_bitwise(
+        request_id in 0u64..u64::MAX,
+        digest_pin in 0u64..u64::MAX,
+        rows in 1usize..40,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let req = Request { request_id, digest_pin, series: series(rows, cols, seed) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        // The length prefix is consistent with the body.
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, frame.len() - 4);
+        let got = decode_request(&frame[4..]).unwrap();
+        prop_assert_eq!(&got, &req);
+        // Bitwise, not just PartialEq: compare the payload bits too.
+        for (a, b) in got.series.as_slice().iter().zip(req.series.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Responses round-trip across all statuses, retry hints and
+    /// probability vectors.
+    #[test]
+    fn responses_round_trip_bitwise(
+        request_id in 0u64..u64::MAX,
+        digest in 0u64..u64::MAX,
+        status_code in 0u32..6,
+        retry in 0u32..100_000,
+        classes in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        let status = Status::from_code(status_code as u16).unwrap();
+        let probabilities: Vec<f64> = if status == Status::Ok {
+            (0..classes).map(|k| ((k as f64 + seed as f64) * 0.417).cos().abs()).collect()
+        } else {
+            Vec::new()
+        };
+        let resp = Response {
+            request_id,
+            status,
+            retry_after_ms: retry,
+            digest,
+            class: (classes as u32).saturating_sub(1),
+            probabilities,
+        };
+        let mut frame = Vec::new();
+        encode_response(&resp, &mut frame);
+        let got = decode_response(&frame[4..]).unwrap();
+        prop_assert_eq!(&got, &resp);
+        for (a, b) in got.probabilities.iter().zip(&resp.probabilities) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Every strict prefix of a valid request body fails to decode with
+    /// a typed error (no panic, no partial success).
+    #[test]
+    fn truncated_requests_are_rejected(
+        rows in 1usize..10,
+        cols in 1usize..4,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = Request { request_id: 7, digest_pin: 9, series: series(rows, cols, 3) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        let body = &frame[4..];
+        let cut = (((body.len() as f64) * cut_frac) as usize).min(body.len() - 1);
+        prop_assert!(decode_request(&body[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of the 12-byte header either changes
+    /// the decoded ids (reserved/id bytes) or produces a typed error
+    /// (version/kind bytes) — never a panic.
+    #[test]
+    fn header_byte_flips_never_panic(
+        pos in 0usize..12,
+        xor in 1u32..256,
+    ) {
+        let req = Request { request_id: 1, digest_pin: 2, series: series(3, 2, 5) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        let mut body = frame[4..].to_vec();
+        body[pos] ^= xor as u8;
+        if let Ok(got) = decode_request(&body) {
+            // Only id / reserved bytes may mutate without rejection.
+            prop_assert!(pos >= 2, "version/kind flip must be rejected");
+            prop_assert_eq!(got.series.as_slice(), req.series.as_slice());
+        }
+    }
+
+    /// A hostile length prefix beyond the cap is rejected before any
+    /// buffering; prefixes within the cap but beyond the stream fail as
+    /// truncated.
+    #[test]
+    fn hostile_length_prefixes_are_contained(declared in 0u32..u32::MAX) {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&declared.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 64]); // far fewer bytes than declared
+        let mut buf = Vec::new();
+        let mut r = stream.as_slice();
+        match read_frame(&mut r, &mut buf, 1 << 16) {
+            Ok(Some(body)) => prop_assert!(body.len() == declared as usize && body.len() <= 64),
+            Ok(None) => prop_assert!(false, "non-empty stream cannot be clean EOF"),
+            Err(FrameError::Oversized { len, max }) => {
+                prop_assert_eq!(len, declared as usize);
+                prop_assert_eq!(max, 1 << 16);
+            }
+            Err(FrameError::TruncatedFrame { expected, found }) => {
+                prop_assert_eq!(expected, declared as usize);
+                prop_assert_eq!(found, 64);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+        }
+    }
+
+    /// Trailing garbage after a well-formed payload is rejected.
+    #[test]
+    fn trailing_garbage_is_rejected(extra in 1usize..32) {
+        let req = Request { request_id: 3, digest_pin: 0, series: series(2, 2, 1) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        let mut body = frame[4..].to_vec();
+        body.extend(std::iter::repeat(0xAB).take(extra));
+        prop_assert!(matches!(
+            decode_request(&body),
+            Err(FrameError::TrailingBytes { extra: e }) if e == extra
+        ));
+    }
+}
+
+/// Several frames back to back on one stream decode in order, and the
+/// reader reports clean EOF exactly at the end.
+#[test]
+fn back_to_back_frames_stream_cleanly() {
+    let mut stream = Vec::new();
+    let mut frame = Vec::new();
+    let reqs: Vec<Request> = (0..5)
+        .map(|i| Request {
+            request_id: i as u64 + 1,
+            digest_pin: 0,
+            series: series(1 + i, 2, i as u64),
+        })
+        .collect();
+    for req in &reqs {
+        encode_request(req, &mut frame);
+        stream.extend_from_slice(&frame);
+    }
+    let mut r = stream.as_slice();
+    let mut buf = Vec::new();
+    for req in &reqs {
+        let body = read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(&decode_request(body).unwrap(), req);
+    }
+    assert!(read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY)
+        .unwrap()
+        .is_none());
+}
+
+/// An oversized declared shape (rows × cols beyond the element cap) is
+/// rejected as BadShape even when the u32 multiplication would wrap.
+#[test]
+fn overflowing_shapes_are_rejected_not_wrapped() {
+    let req = Request {
+        request_id: 1,
+        digest_pin: 0,
+        series: series(2, 2, 0),
+    };
+    let mut frame = Vec::new();
+    encode_request(&req, &mut frame);
+    let mut body = frame[4..].to_vec();
+    // rows at offset 20, cols at 24 (12-byte header + 8-byte pin).
+    body[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+    body[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_request(&body),
+        Err(FrameError::BadShape { .. })
+    ));
+}

@@ -1,0 +1,357 @@
+//! End-to-end loopback suite: a real `Server` on an ephemeral port, real
+//! sockets, concurrent clients, and a hot-swap under live traffic — with
+//! every response checked **bitwise** (class, probabilities, digest)
+//! against a direct in-process [`ServeSession`] on the same model. The
+//! network layer must add exactly nothing to the numbers.
+
+use dfr_core::DfrClassifier;
+use dfr_linalg::Matrix;
+use dfr_serve::{FrozenModel, ServeSession};
+use dfr_server::{Client, ModelRegistry, Server, ServerConfig, ServerError, Status};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model(tweak: f64, seed: u64) -> DfrClassifier {
+    let mut m = DfrClassifier::paper_default(6, 2, 3, seed).unwrap();
+    m.reservoir_mut().set_params(0.06, 0.15).unwrap();
+    for j in 0..m.feature_dim() {
+        for k in 0..3 {
+            m.w_out_mut()[(k, j)] = tweak * (((j * 5 + k * 3 + 1) % 17) as f64 - 8.0);
+        }
+    }
+    m
+}
+
+fn series_for(i: usize) -> Matrix {
+    let t = 2 + (i * 7) % 19;
+    Matrix::from_vec(
+        t,
+        2,
+        (0..t * 2)
+            .map(|k| (((k * 11 + i * 13) % 31) as f64 * 0.21 - 3.0).sin())
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// (class, probability bits, digest) oracle computed through a direct
+/// in-process session — the ground truth network responses must equal.
+fn oracle(frozen: &FrozenModel, series: &[Matrix]) -> Vec<(usize, Vec<u64>, u64)> {
+    let mut session = ServeSession::builder(frozen.clone()).build();
+    let result = session.predict_batch(series).unwrap();
+    (0..series.len())
+        .map(|i| {
+            (
+                result.predictions()[i],
+                result
+                    .probabilities_of(i)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect(),
+                result.digest(),
+            )
+        })
+        .collect()
+}
+
+fn start(frozen: FrozenModel, config: ServerConfig) -> Server {
+    let registry = Arc::new(ModelRegistry::new(frozen));
+    Server::bind("127.0.0.1:0", registry, config).unwrap()
+}
+
+/// The headline contract: every response that crosses the socket is
+/// bitwise identical to the direct in-process predict — predictions,
+/// probabilities and digest.
+#[test]
+fn responses_are_bitwise_identical_to_direct_predict() {
+    let frozen = FrozenModel::freeze(&model(0.02, 3));
+    let series: Vec<Matrix> = (0..24).map(series_for).collect();
+    let expected = oracle(&frozen, &series);
+
+    let mut server = start(frozen, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for (i, s) in series.iter().enumerate() {
+        let got = client.predict(s).unwrap();
+        let (class, bits, digest) = &expected[i];
+        assert_eq!(got.class, *class, "sample {i}");
+        assert_eq!(got.digest, *digest, "sample {i}");
+        let got_bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(&got_bits, bits, "sample {i} probabilities");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, series.len() as u64);
+    assert_eq!(stats.malformed, 0);
+    server.shutdown();
+}
+
+/// Concurrent clients hammering one server: every response still
+/// bitwise-matches the oracle, no cross-request mixups (each request is
+/// checked against ITS series' expected bits).
+#[test]
+fn concurrent_clients_get_unmixed_bitwise_answers() {
+    let frozen = FrozenModel::freeze(&model(0.02, 5));
+    let series: Vec<Matrix> = (0..32).map(series_for).collect();
+    let expected = Arc::new(oracle(&frozen, &series));
+    let series = Arc::new(series);
+
+    // A tight coalescing deadline plus parallel senders makes real
+    // multi-request batches overwhelmingly likely.
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            batch_deadline: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let expected = Arc::clone(&expected);
+            let series = Arc::clone(&series);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..3 {
+                    for i in (w % 4..series.len()).step_by(4) {
+                        let got = client.predict(&series[i]).unwrap();
+                        let (class, bits, digest) = &expected[i];
+                        assert_eq!(got.class, *class, "worker {w} round {round} sample {i}");
+                        assert_eq!(got.digest, *digest);
+                        let got_bits: Vec<u64> =
+                            got.probabilities.iter().map(|p| p.to_bits()).collect();
+                        assert_eq!(&got_bits, bits, "worker {w} round {round} sample {i}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, 4 * 3 * 8);
+    assert_eq!(stats.connections, 4);
+    server.shutdown();
+}
+
+/// Atomic hot-swap under live traffic: mid-stream, a retrained model is
+/// published. Every response before AND after must bitwise-match the
+/// model its digest claims served it; unpinned traffic flips to the new
+/// digest, digest-pinned traffic keeps getting the old model exactly.
+#[test]
+fn hot_swap_mid_stream_is_atomic_and_bitwise_faithful() {
+    let frozen_a = FrozenModel::freeze(&model(0.02, 7));
+    let frozen_b = FrozenModel::freeze(&model(-0.03, 7));
+    let digest_a = frozen_a.content_digest();
+    let digest_b = frozen_b.content_digest();
+    assert_ne!(digest_a, digest_b);
+
+    let series: Vec<Matrix> = (0..20).map(series_for).collect();
+    let by_a = oracle(&frozen_a, &series);
+    let by_b = oracle(&frozen_b, &series);
+
+    let mut server = start(frozen_a, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Phase 1: only A is registered; unpinned traffic serves A.
+    for (i, s) in series.iter().take(10).enumerate() {
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.digest, digest_a);
+        assert_eq!(got.class, by_a[i].0);
+    }
+
+    // Hot-swap mid-stream, same connection staying up.
+    assert_eq!(server.registry().publish(frozen_b), digest_b);
+
+    for (i, s) in series.iter().enumerate().skip(10) {
+        // Unpinned traffic now serves B, bitwise.
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.digest, digest_b, "sample {i} after swap");
+        assert_eq!(got.class, by_b[i].0);
+        let bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, by_b[i].1, "sample {i} post-swap probabilities");
+
+        // A digest-pinned request on the same connection still gets the
+        // OLD model, bitwise.
+        let pinned = client.predict_pinned(s, digest_a).unwrap();
+        assert_eq!(pinned.digest, digest_a);
+        assert_eq!(pinned.class, by_a[i].0);
+        let bits: Vec<u64> = pinned.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, by_a[i].1, "sample {i} pinned probabilities");
+    }
+    server.shutdown();
+}
+
+/// Every response's digest is a registered model, and mixed pinned and
+/// unpinned traffic racing a swap never yields bits that match neither
+/// model (atomicity: there is no in-between model).
+#[test]
+fn racing_swap_never_serves_a_half_updated_model() {
+    let frozen_a = FrozenModel::freeze(&model(0.025, 11));
+    let frozen_b = FrozenModel::freeze(&model(-0.02, 11));
+    let series: Vec<Matrix> = (0..12).map(series_for).collect();
+    let by_a = oracle(&frozen_a, &series);
+    let by_b = oracle(&frozen_b, &series);
+    let digest_a = frozen_a.content_digest();
+    let digest_b = frozen_b.content_digest();
+
+    let mut server = start(
+        frozen_a,
+        ServerConfig {
+            batch_deadline: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let registry = Arc::clone(server.registry());
+    let frozen_b_pub = frozen_b.clone();
+    let swapper = std::thread::spawn(move || {
+        // Publish B (and A again, and B again) while clients stream.
+        for round in 0..6 {
+            std::thread::sleep(Duration::from_millis(3));
+            if round % 2 == 0 {
+                registry.publish(frozen_b_pub.clone());
+            } else {
+                registry.activate(digest_a).unwrap();
+            }
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    for round in 0..10 {
+        for (i, s) in series.iter().enumerate() {
+            let got = client.predict(s).unwrap();
+            let (class, bits) = if got.digest == digest_a {
+                (&by_a[i].0, &by_a[i].1)
+            } else {
+                assert_eq!(got.digest, digest_b, "round {round} sample {i}");
+                (&by_b[i].0, &by_b[i].1)
+            };
+            assert_eq!(got.class, *class, "round {round} sample {i}");
+            let got_bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(&got_bits, bits, "round {round} sample {i}");
+        }
+    }
+    swapper.join().unwrap();
+    server.shutdown();
+}
+
+/// Protocol-level rejections surface as typed statuses: an unknown
+/// digest pin, a malformed frame on a live connection (which stays
+/// usable afterwards), and requests after shutdown.
+#[test]
+fn rejections_are_typed_and_the_connection_survives_malformed_frames() {
+    let frozen = FrozenModel::freeze(&model(0.02, 13));
+    let mut server = start(frozen, ServerConfig::default());
+    let addr = server.local_addr();
+    let s = series_for(0);
+
+    // Unknown digest pin.
+    let mut client = Client::connect(addr).unwrap();
+    match client.predict_pinned(&s, 0xdead_beef) {
+        Err(ServerError::Rejected { status, .. }) => assert_eq!(status, Status::UnknownDigest),
+        other => panic!("expected UnknownDigest rejection, got {other:?}"),
+    }
+
+    // A syntactically framed but semantically garbage body: the server
+    // answers Malformed and keeps the connection alive.
+    {
+        use dfr_server::frame::{decode_response, read_frame, write_frame, DEFAULT_MAX_BODY};
+        use std::net::TcpStream;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, &[0xFF; 24]).unwrap();
+        let mut buf = Vec::new();
+        let body = read_frame(&mut (&raw), &mut buf, DEFAULT_MAX_BODY)
+            .unwrap()
+            .expect("a Malformed response, not a hangup");
+        let resp = decode_response(body).unwrap();
+        assert_eq!(resp.status, Status::Malformed);
+    }
+    // The first client still works after someone else's garbage.
+    assert!(client.predict(&s).is_ok());
+    assert!(server.stats().malformed >= 1);
+
+    server.shutdown();
+    // Post-shutdown: the request fails (connection refused / closed /
+    // explicit ShuttingDown) — it must not hang or panic.
+    match client.predict(&s) {
+        Err(_) => {}
+        Ok(_) => panic!("request served after shutdown"),
+    }
+}
+
+/// Explicit backpressure: with a tiny admission queue and a slow-to-fill
+/// coalescer, floods answer Busy with a retry hint instead of queueing
+/// unboundedly — and a subsequent retry succeeds.
+#[test]
+fn overload_rejects_with_busy_and_a_retry_hint() {
+    let frozen = FrozenModel::freeze(&model(0.02, 17));
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            queue_capacity: 1,
+            // A long deadline with max_batch 1 keeps the batcher slow so
+            // the 1-deep queue backs up under a burst.
+            max_batch: 1,
+            batch_deadline: Duration::from_millis(40),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let s = series_for(1);
+
+    // Fire-and-forget burst on raw sockets so rejections don't stop the
+    // flood (a Client would return Err on the first Busy).
+    use dfr_server::frame::{
+        decode_response, encode_request, read_frame, Request, DEFAULT_MAX_BODY,
+    };
+    use std::io::Write;
+    use std::net::TcpStream;
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let mut frame = Vec::new();
+    const BURST: usize = 32;
+    for id in 0..BURST as u64 {
+        let req = Request {
+            request_id: id + 1,
+            digest_pin: 0,
+            series: s.clone(),
+        };
+        encode_request(&req, &mut frame);
+        raw.write_all(&frame).unwrap();
+    }
+    raw.flush().unwrap();
+
+    let mut buf = Vec::new();
+    let mut busy = 0u32;
+    let mut ok = 0u32;
+    let mut hint = 0u32;
+    for _ in 0..BURST {
+        let body = read_frame(&mut (&raw), &mut buf, DEFAULT_MAX_BODY)
+            .unwrap()
+            .expect("every request gets a response");
+        let resp = decode_response(body).unwrap();
+        match resp.status {
+            Status::Ok => ok += 1,
+            Status::Busy => {
+                busy += 1;
+                hint = hint.max(resp.retry_after_ms);
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "some requests must be served");
+    assert!(
+        busy >= 1,
+        "a 1-deep queue under a {BURST}-burst must reject"
+    );
+    assert!(hint >= 1, "Busy must carry a retry hint");
+    assert_eq!(server.stats().rejected_busy as u32, busy);
+
+    // Backpressure is advisory, not fatal: a retry after the burst
+    // drains goes through.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.predict(&s).is_ok());
+    server.shutdown();
+}

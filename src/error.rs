@@ -1,0 +1,129 @@
+//! The top-level error type: every workspace crate's error converts
+//! into [`Error`] via `From`, so application code (and the examples) can
+//! use one `Result<_, dfr::Error>` across training, serving and the
+//! network layer instead of juggling six per-crate enums.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Any failure from any layer of the reproduction.
+///
+/// Each variant wraps one crate's error type; `source()` exposes the
+/// underlying error for chains, and every per-crate error converts in
+/// with `?` thanks to the `From` impls below.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Linear algebra: shape mismatches, non-SPD Cholesky inputs.
+    Linalg(dfr_linalg::LinalgError),
+    /// Dataset construction and normalization.
+    Data(dfr_data::DataError),
+    /// Reservoir dynamics: bad gains, divergence, mask mismatches.
+    Reservoir(dfr_reservoir::ReservoirError),
+    /// Training: backprop, the SGD trainer, grid search.
+    Core(dfr_core::CoreError),
+    /// Serving: freezing, (de)serialization, batched prediction.
+    Serve(dfr_serve::ServeError),
+    /// The network front-end: sockets, framing, registry, rejections.
+    Server(dfr_server::ServerError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linalg: {e}"),
+            Error::Data(e) => write!(f, "data: {e}"),
+            Error::Reservoir(e) => write!(f, "reservoir: {e}"),
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            Error::Data(e) => Some(e),
+            Error::Reservoir(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Server(e) => Some(e),
+        }
+    }
+}
+
+impl From<dfr_linalg::LinalgError> for Error {
+    fn from(e: dfr_linalg::LinalgError) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<dfr_data::DataError> for Error {
+    fn from(e: dfr_data::DataError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<dfr_reservoir::ReservoirError> for Error {
+    fn from(e: dfr_reservoir::ReservoirError) -> Self {
+        Error::Reservoir(e)
+    }
+}
+
+impl From<dfr_core::CoreError> for Error {
+    fn from(e: dfr_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<dfr_serve::ServeError> for Error {
+    fn from(e: dfr_serve::ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<dfr_server::ServerError> for Error {
+    fn from(e: dfr_server::ServerError) -> Self {
+        Error::Server(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One `?`-friendly Result across every layer: each crate error
+    /// converts, displays with its layer prefix, and keeps its source.
+    #[test]
+    fn every_layer_converts_displays_and_sources() {
+        fn linalg_fails() -> Result<(), Error> {
+            Err(dfr_linalg::LinalgError::ShapeMismatch {
+                op: "test",
+                lhs: (2, 2),
+                rhs: (3, 3),
+            })?;
+            Ok(())
+        }
+        let e = linalg_fails().unwrap_err();
+        assert!(matches!(e, Error::Linalg(_)));
+        assert!(e.to_string().starts_with("linalg:"));
+        assert!(e.source().is_some());
+
+        let e = Error::from(dfr_reservoir::ReservoirError::Diverged { step: 4 });
+        assert!(e.to_string().starts_with("reservoir:"));
+        assert!(e.source().is_some());
+
+        let e = Error::from(dfr_serve::ServeError::Digest {
+            stored: 1,
+            computed: 2,
+        });
+        assert!(e.to_string().starts_with("serve:"));
+
+        let e = Error::from(dfr_server::ServerError::UnknownDigest { digest: 3 });
+        assert!(e.to_string().starts_with("server:"));
+        // The source is always the wrapped crate error itself.
+        assert!(e.source().unwrap().to_string().contains("digest"));
+    }
+}

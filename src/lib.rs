@@ -11,9 +11,17 @@
 //!   grid-search baseline, the Table 2 memory model and metrics.
 //! * [`pool`] — the deterministic parallel execution layer every hot path
 //!   runs on (`DFR_THREADS` controls the fan-out width).
-//! * [`serve`] — batched inference: frozen, byte-serializable models with
-//!   a zero-allocation `predict_batch` bitwise identical to per-sample
-//!   `predict`.
+//! * [`serve`] — batched inference: frozen, byte-serializable models
+//!   served through builder-constructed `ServeSession`s, bitwise
+//!   identical to per-sample `predict` and allocation-free once warm.
+//! * [`server`] — the network front-end: framed TCP requests,
+//!   deadline-based micro-batching behind a bounded admission queue, and
+//!   a digest-keyed model registry with atomic hot-swap.
+//!
+//! Two unifying pieces live at the root: [`Error`] (every crate error
+//! converts in via `From`, so one `Result<_, dfr::Error>` spans training
+//! through serving) and [`prelude`] (the blessed one-line import for the
+//! train → freeze → register → serve path).
 //!
 //! # Quickstart
 //!
@@ -44,3 +52,9 @@ pub use dfr_linalg as linalg;
 pub use dfr_pool as pool;
 pub use dfr_reservoir as reservoir;
 pub use dfr_serve as serve;
+pub use dfr_server as server;
+
+mod error;
+pub mod prelude;
+
+pub use error::Error;

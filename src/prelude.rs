@@ -1,0 +1,21 @@
+//! The blessed import surface: `use dfr::prelude::*;` brings in the
+//! types an application touching training **and** serving needs, without
+//! reaching into individual sub-crates.
+//!
+//! Deliberately small — kernels, trainers and internals stay behind
+//! their modules ([`crate::linalg`], [`crate::core`], …); the prelude is
+//! the train → freeze → register → serve path plus the unified
+//! [`Error`].
+
+pub use crate::Error;
+
+pub use dfr_linalg::Matrix;
+
+pub use dfr_data::DatasetSpec;
+
+pub use dfr_core::trainer::{train, TrainOptions};
+pub use dfr_core::DfrClassifier;
+
+pub use dfr_serve::{BatchPlan, FrozenModel, ServeSession, ServeSessionBuilder};
+
+pub use dfr_server::{Client, ModelRegistry, Server, ServerConfig};

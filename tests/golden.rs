@@ -21,7 +21,7 @@
 
 use dfr::core::trainer::{train, TrainOptions};
 use dfr::data::DatasetSpec;
-use dfr::serve::FrozenModel;
+use dfr::serve::{FrozenModel, ServeSession};
 use std::path::PathBuf;
 
 /// Pinned FNV-1a-64 digest of the frozen quickstart model.
@@ -97,12 +97,18 @@ fn golden_bytes_round_trip_and_serve() {
 
     let raw_series: Vec<dfr::linalg::Matrix> =
         raw.test().iter().map(|s| s.series.clone()).collect();
-    let served = golden
+    let mut session = ServeSession::builder(golden).build();
+    let served = session
         .predict_batch(&raw_series)
         .expect("serve golden model");
+    assert_eq!(
+        served.digest(),
+        GOLDEN_DIGEST,
+        "responses carry the golden digest"
+    );
     for (i, sample) in standardized.test().iter().enumerate() {
         let expected = report.model.predict(&sample.series).expect("predict");
-        assert_eq!(served[i], expected, "sample {i}");
+        assert_eq!(served.predictions()[i], expected, "sample {i}");
     }
 }
 
