@@ -1,0 +1,171 @@
+//! Regression gate over the committed GEMM bench record.
+//!
+//! ```text
+//! cargo run --release -p dfr-bench --bin bench_diff -- \
+//!     --record results/BENCH_gemm.json --current results/BENCH_gemm.current.json \
+//!     [--max-regress 0.10]
+//! ```
+//!
+//! Compares a freshly measured `BENCH_gemm.json` against the committed
+//! record and **fails (exit 1) on any >`--max-regress` median slowdown on
+//! the same kernel class** — per-kernel `kernels.<name>.median_ns` columns
+//! are compared for every kernel present in *both* records, and the
+//! default packed column only when both records were dispatched on the
+//! same kernel. Kernels present on one host but not the other (e.g. a
+//! NEON record diffed on an x86 runner) are skipped, never failed: the
+//! gate guards same-class regressions, not cross-ISA deltas. Speed-ups
+//! and small noise are reported but pass.
+
+use dfr_bench::{json_f64, row, Args, Json};
+use std::process::ExitCode;
+
+/// One comparable column: a bench × kernel-class median pair.
+struct Column<'a> {
+    bench: &'a str,
+    kernel: String,
+    record_ns: f64,
+    current_ns: f64,
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-diff: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("bench-diff: {path} is not valid JSON: {e}"))
+}
+
+/// The per-kernel median columns of one record row, plus the default
+/// packed column keyed by its dispatch kernel name.
+fn medians(row: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let (Some(kernel), Some(ns)) = (
+        row.get("kernel").and_then(Json::as_str),
+        row.get("packed_median_ns").and_then(Json::as_f64),
+    ) {
+        out.push((format!("dispatch:{kernel}"), ns));
+    }
+    if let Some(kernels) = row.get("kernels").and_then(Json::as_object) {
+        for (name, stats) in kernels {
+            if let Some(ns) = stats.get("median_ns").and_then(Json::as_f64) {
+                out.push((name.clone(), ns));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let record_path = args.get("record").unwrap_or("results/BENCH_gemm.json");
+    let current_path = args
+        .get("current")
+        .unwrap_or("results/BENCH_gemm.current.json");
+    let max_regress = args.get_f64("max-regress", 0.10);
+
+    let record = load(record_path);
+    let current = load(current_path);
+    let record_rows = record
+        .as_array()
+        .unwrap_or_else(|| panic!("bench-diff: {record_path} is not a JSON array"));
+    let current_rows = current
+        .as_array()
+        .unwrap_or_else(|| panic!("bench-diff: {current_path} is not a JSON array"));
+
+    let mut columns = Vec::new();
+    let record_medians: Vec<(&str, Vec<(String, f64)>)> = record_rows
+        .iter()
+        .filter_map(|r| {
+            r.get("bench")
+                .and_then(Json::as_str)
+                .map(|b| (b, medians(r)))
+        })
+        .collect();
+    for cur in current_rows {
+        let Some(bench) = cur.get("bench").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some((_, rec)) = record_medians.iter().find(|(b, _)| *b == bench) else {
+            continue; // new bench, nothing to diff against
+        };
+        for (kernel, current_ns) in medians(cur) {
+            if let Some((_, record_ns)) = rec.iter().find(|(k, _)| *k == kernel) {
+                columns.push(Column {
+                    bench,
+                    kernel,
+                    record_ns: *record_ns,
+                    current_ns,
+                });
+            }
+        }
+    }
+    assert!(
+        !columns.is_empty(),
+        "bench-diff: no comparable (bench, kernel) columns between \
+         {record_path} and {current_path}"
+    );
+
+    let widths = [16, 16, 13, 13, 9];
+    println!(
+        "bench-diff: {current_path} vs committed {record_path} (gate {:.0}%)",
+        max_regress * 100.0
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "kernel".into(),
+                "record(ms)".into(),
+                "current(ms)".into(),
+                "delta".into(),
+            ],
+            &widths,
+        )
+    );
+    let mut failures = Vec::new();
+    for c in &columns {
+        let delta = c.current_ns / c.record_ns.max(1e-9) - 1.0;
+        println!(
+            "{}{}",
+            row(
+                &[
+                    c.bench.into(),
+                    c.kernel.clone(),
+                    format!("{:.3}", c.record_ns / 1e6),
+                    format!("{:.3}", c.current_ns / 1e6),
+                    format!("{:+.1}%", delta * 100.0),
+                ],
+                &widths,
+            ),
+            if delta > max_regress {
+                "  << REGRESSION"
+            } else {
+                ""
+            },
+        );
+        if delta > max_regress {
+            failures.push(format!(
+                "{} on {}: {} -> {} ns median ({:+.1}% > {:.0}% gate)",
+                c.bench,
+                c.kernel,
+                json_f64(c.record_ns),
+                json_f64(c.current_ns),
+                delta * 100.0,
+                max_regress * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "\nok: {} columns within the {:.0}% gate",
+            columns.len(),
+            max_regress * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench-diff FAILED ({} regressions):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

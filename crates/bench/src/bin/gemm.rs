@@ -24,11 +24,22 @@
 //! mean, median and population stddev over `--repeat` runs; the recorded
 //! speedup is the **median** ratio, robust to scheduler noise on shared
 //! hosts. Results land in `results/BENCH_gemm.json`.
+//!
+//! **Per-kernel columns** (`DESIGN.md` §13): the packed path is re-timed
+//! under every SIMD kernel this host can run (`dfr_linalg::kernels::
+//! available()`), via the thread-local `with_kernel` override. Strict
+//! kernels (scalar/sse2/avx2/neon) must be **bitwise** identical to the
+//! frozen scalar baseline before their column is recorded; opt-in FMA
+//! kernels (`--features fast-math`) are verified against a
+//! `1e-13·(|x| + k)` elementwise tolerance instead and carry
+//! `"strict": false` so readers cannot mistake them for the
+//! reproducibility-grade path.
 
 use dfr_bench::{
     apply_threads, json_array, json_f64, json_object, json_str, row, sample_stats, write_results,
     Args,
 };
+use dfr_linalg::kernels::{self, with_kernel};
 use dfr_linalg::{dot, Matrix};
 use std::time::Instant;
 
@@ -161,6 +172,17 @@ fn time_samples<R>(repeat: usize, f: impl Fn() -> R) -> (Vec<f64>, R) {
     (samples, result)
 }
 
+/// FMA-kernel oracle: elementwise agreement within `1e-13 · (|x| + k)` —
+/// the fused rounding changes at most the last few ulps per `k`-step.
+fn within_fma_tolerance(got: &Matrix, expect: &Matrix, k: usize) -> bool {
+    got.shape() == expect.shape()
+        && got
+            .as_slice()
+            .iter()
+            .zip(expect.as_slice())
+            .all(|(g, e)| (g - e).abs() <= 1e-13 * (e.abs() + k as f64))
+}
+
 fn main() {
     let args = Args::from_env();
     let repeat = args.get_usize("repeat", 7).max(1);
@@ -224,8 +246,13 @@ fn main() {
         ),
     ];
 
+    let avail = kernels::available();
+    let default_kernel = kernels::active().name();
     let widths = [16, 14, 12, 12, 9, 6];
-    println!("GEMM kernels: pre-PR scalar baseline vs packed microkernel ({threads} threads)");
+    println!(
+        "GEMM kernels: pre-PR scalar baseline vs packed microkernel \
+         ({threads} threads, dispatch={default_kernel})"
+    );
     println!(
         "{}",
         row(
@@ -242,6 +269,7 @@ fn main() {
     );
 
     let mut json_rows = Vec::new();
+    let mut kernel_table = Vec::new();
     for (name, (m, k, n), baseline, packed) in &benches {
         let (base_samples, base_result) = time_samples(repeat, baseline);
         let (packed_samples, packed_result) = time_samples(repeat, packed);
@@ -268,6 +296,48 @@ fn main() {
                 &widths,
             )
         );
+        // §13 per-kernel columns: re-time the packed path under every
+        // kernel this host can run, verifying each against the frozen
+        // baseline before its column is recorded.
+        let mut kernel_fields = Vec::new();
+        for kernel in &avail {
+            let (k_samples, k_result) = time_samples(repeat, || with_kernel(kernel.kind(), packed));
+            if kernel.is_strict() {
+                assert!(
+                    k_result == base_result,
+                    "{name}: strict kernel {} diverged from the scalar baseline",
+                    kernel.name()
+                );
+            } else {
+                assert!(
+                    within_fma_tolerance(&k_result, &base_result, *k),
+                    "{name}: fma kernel {} outside tolerance",
+                    kernel.name()
+                );
+            }
+            let (k_mean, k_median, k_stddev) = sample_stats(&k_samples);
+            let k_speedup = base_median / k_median.max(1e-12);
+            kernel_table.push(row(
+                &[
+                    (*name).into(),
+                    kernel.name().into(),
+                    format!("{:.3}", k_median * 1e3),
+                    format!("{k_speedup:.2}x"),
+                    if kernel.is_strict() { "yes" } else { "tol" }.into(),
+                ],
+                &[16, 12, 12, 9, 6],
+            ));
+            kernel_fields.push((
+                kernel.name(),
+                json_object(&[
+                    ("mean_ns", json_f64(k_mean * 1e9)),
+                    ("median_ns", json_f64(k_median * 1e9)),
+                    ("stddev_ns", json_f64(k_stddev * 1e9)),
+                    ("speedup_vs_baseline", json_f64(k_speedup)),
+                    ("strict", kernel.is_strict().to_string()),
+                ]),
+            ));
+        }
         json_rows.push(json_object(&[
             ("bench", json_str(name)),
             ("m", m.to_string()),
@@ -281,6 +351,8 @@ fn main() {
             ("packed_stddev_ns", json_f64(new_stddev * 1e9)),
             ("speedup", json_f64(speedup)),
             ("identical", identical.to_string()),
+            ("kernel", json_str(default_kernel)),
+            ("kernels", json_object(&kernel_fields)),
             ("repeat", repeat.to_string()),
             ("threads", threads.to_string()),
             ("available_cores", cores.to_string()),
@@ -289,13 +361,34 @@ fn main() {
                 json_str(
                     "baseline = pre-PR scalar kernels frozen in this binary (i-k-j \
                      K_BLOCK loop with zero-skip, memory RMW accumulation, per-element \
-                     dot); packed = register-tiled panel-packed microkernel path; \
-                     median over `repeat` runs after one warm-up; bitwise identity \
-                     asserted per shape before recording",
+                     dot); packed = register-tiled panel-packed microkernel path under \
+                     the default dispatch; `kernels` re-times the packed path per SIMD \
+                     kernel via with_kernel; median over `repeat` runs after one \
+                     warm-up; strict kernels asserted bitwise identical to the \
+                     baseline (fma kernels to 1e-13*(|x|+k)) before recording",
                 ),
             ),
         ]));
     }
+
+    println!("\nPer-kernel packed medians (speedup vs frozen scalar baseline)");
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "kernel".into(),
+                "median(ms)".into(),
+                "speedup".into(),
+                "ident".into(),
+            ],
+            &[16, 12, 12, 9, 6],
+        )
+    );
+    for line in &kernel_table {
+        println!("{line}");
+    }
+
     let path = write_results("BENCH_gemm.json", &json_array(&json_rows));
     println!("\nwrote {}", path.display());
 }

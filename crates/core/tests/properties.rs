@@ -345,4 +345,43 @@ proptest! {
                 "accuracy, threads={}", threads);
         }
     }
+
+    /// End-to-end trained-model identity across SIMD kernels (`DESIGN.md`
+    /// §13): the full `train` pipeline produces bitwise-identical models,
+    /// losses and selected β under every available strict kernel. Pinned
+    /// at pool width 1 because the thread-local `with_kernel` override
+    /// does not reach products issued from inside pool workers — whole-
+    /// process kernel selection at width 4 is covered by the CI
+    /// `DFR_KERNEL` × golden-digest matrix.
+    #[test]
+    fn trained_model_bit_identical_across_kernels(seed in 0u64..1000) {
+        use dfr_linalg::kernels::{available, with_kernel, KernelKind};
+        let mut ds = dfr_data::DatasetSpec::new("train-kern", 2, 18, 1, 10, 8, 0.35)
+            .build(seed);
+        dfr_data::normalize::standardize(&mut ds);
+        let options = dfr_core::trainer::TrainOptions {
+            nodes: 6,
+            epochs: 3,
+            ..dfr_core::trainer::TrainOptions::calibrated()
+        };
+        let reference = dfr_pool::with_threads(1, || {
+            with_kernel(KernelKind::Scalar, || {
+                dfr_core::trainer::train(&ds, &options).unwrap()
+            })
+        });
+        for kernel in available().into_iter().filter(|k| k.is_strict()) {
+            let got = dfr_pool::with_threads(1, || {
+                with_kernel(kernel.kind(), || {
+                    dfr_core::trainer::train(&ds, &options).unwrap()
+                })
+            });
+            prop_assert_eq!(&got.model, &reference.model, "model, kernel={}", kernel.name());
+            prop_assert_eq!(got.beta.to_bits(), reference.beta.to_bits(),
+                "beta, kernel={}", kernel.name());
+            prop_assert_eq!(got.train_loss.to_bits(), reference.train_loss.to_bits(),
+                "loss, kernel={}", kernel.name());
+            prop_assert_eq!(got.test_accuracy.to_bits(), reference.test_accuracy.to_bits(),
+                "accuracy, kernel={}", kernel.name());
+        }
+    }
 }

@@ -106,10 +106,13 @@ pub fn dense_bias_softmax_into(
 /// The dense half runs as **one** `x · wᵀ` product through the register-
 /// tiled GEMM microkernel ([`crate::Matrix::matmul_t_into_ws`]) instead of
 /// `n` separate matvecs — the batch amortises the packing of `w` across
-/// every row. Per output element the accumulation is still a `k`-ascending
-/// dot followed by one bias add and the same stable softmax, so every row
-/// is **bitwise identical** to a per-sample [`dense_bias_softmax_into`]
-/// call on that row. This is the serving layer's batch hot path.
+/// every row, and the product dispatches to whichever SIMD microkernel
+/// [`crate::kernels::active`] selects (scalar/SSE2/AVX2/NEON; all strict
+/// kernels produce the same bits). Per output element the accumulation is
+/// still a `k`-ascending dot followed by one bias add and the same stable
+/// softmax, so every row is **bitwise identical** to a per-sample
+/// [`dense_bias_softmax_into`] call on that row — under every kernel.
+/// This is the serving layer's batch hot path.
 ///
 /// # Errors
 ///

@@ -6,6 +6,7 @@
 //! right tool: no pivoting, `n³/3` flops, and a definiteness check for free.
 
 use crate::gemm::{self, GemmWorkspace, MR, NR};
+use crate::kernels::{self, Kernel};
 use crate::{LinalgError, Matrix};
 
 /// Panel width of the blocked right-looking factorisation: columns are
@@ -111,6 +112,9 @@ impl Cholesky {
         }
         out.l.resize(n, n);
         out.l.fill_zero();
+        // One kernel resolution covers every trailing update of this
+        // factorisation (the §13 product-entry convention).
+        let kernel = kernels::active();
         let l = &mut out.l;
         // Seed the working lower triangle from `a` (only the lower triangle
         // is read; the strict upper stays zero, as `factor_l` promises).
@@ -142,7 +146,7 @@ impl Cholesky {
                 }
             }
             if ke < n {
-                trailing_update(l, kb, ke, &mut out.ws);
+                trailing_update(l, kb, ke, &mut out.ws, kernel);
             }
             kb = ke;
         }
@@ -290,7 +294,7 @@ impl Default for Cholesky {
 /// exact per-element subtraction chain of the unblocked loop. Tiles
 /// straddling the diagonal compute their full block (the strict upper
 /// lanes read zeros and are never stored).
-fn trailing_update(l: &mut Matrix, kb: usize, ke: usize, ws: &mut GemmWorkspace) {
+fn trailing_update(l: &mut Matrix, kb: usize, ke: usize, ws: &mut GemmWorkspace, kernel: &Kernel) {
     let n = l.rows();
     let m_tr = n - ke;
     let kk = ke - kb;
@@ -311,7 +315,7 @@ fn trailing_update(l: &mut Matrix, kb: usize, ke: usize, ws: &mut GemmWorkspace)
                 let row = &l.row(ke + i0 + ii)[ke + j0..ke + j0 + w_full];
                 accr[..w_full].copy_from_slice(row);
             }
-            gemm::mk_mul_sub(a_panel, b_panel, &mut acc);
+            (kernel.mul_sub)(a_panel, b_panel, &mut acc);
             for (ii, accr) in acc.iter().enumerate().take(h) {
                 let i_rel = i0 + ii;
                 if j0 > i_rel {

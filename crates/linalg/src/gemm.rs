@@ -38,12 +38,19 @@
 //! handled by zero-padding the packed panels and masking the stores:
 //! padded lanes accumulate exact zeros that are never written back.
 //!
-//! The subtractive variant ([`mk_mul_sub`]) powers the blocked Cholesky
-//! trailing update: the tile is *loaded* into the accumulator, each
-//! `l[i][k]·l[j][k]` term is subtracted individually in ascending `k`,
-//! and the tile is stored back — the same per-element subtraction chain
-//! as the unblocked left-looking loop.
+//! The subtractive variant (`mul_sub` in the kernel table) powers the
+//! blocked Cholesky trailing update: the tile is *loaded* into the
+//! accumulator, each `l[i][k]·l[j][k]` term is subtracted individually in
+//! ascending `k`, and the tile is stored back — the same per-element
+//! subtraction chain as the unblocked left-looking loop.
+//!
+//! The microkernel bodies themselves live in [`crate::kernels`]
+//! (`DESIGN.md` §13): a runtime-dispatched table of scalar, SSE2, AVX2
+//! and NEON implementations of the same `MR × NR` tile pass. The band
+//! drivers here take the selected [`Kernel`] as a parameter, so one
+//! resolution at product entry covers the whole parallel fan-out.
 
+use crate::kernels::{Kernel, KernelKind};
 use std::cell::RefCell;
 
 /// Rows per A panel / register-tile height.
@@ -91,17 +98,30 @@ impl PartialEq for GemmWorkspace {
 }
 
 thread_local! {
-    /// Per-thread fallback workspace used by the plain `_into` product
+    /// Per-thread fallback workspaces used by the plain `_into` product
     /// forms, so existing call sites stay allocation-free after a
-    /// per-thread warm-up without threading a workspace through.
-    static FALLBACK: RefCell<GemmWorkspace> = RefCell::new(GemmWorkspace::new());
+    /// per-thread warm-up without threading a workspace through. Keyed by
+    /// the kernel that packed them: every current kernel shares the
+    /// `MR`/`NR` panel layout, but the key keeps a mid-process
+    /// `DFR_KERNEL` / `with_kernel` switch from ever reusing panels
+    /// packed under a kernel with a different layout if one is added —
+    /// and gives differential tests per-kernel warm-up isolation today.
+    static FALLBACK: RefCell<Vec<(KernelKind, GemmWorkspace)>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Runs `f` against the thread-local fallback workspace (or a fresh one in
-/// the re-entrant case, which no current kernel triggers).
-pub(crate) fn with_fallback_ws<R>(f: impl FnOnce(&mut GemmWorkspace) -> R) -> R {
+/// Runs `f` against the thread-local fallback workspace for `kind` (or a
+/// fresh one in the re-entrant case, which no current kernel triggers).
+pub(crate) fn with_fallback_ws<R>(kind: KernelKind, f: impl FnOnce(&mut GemmWorkspace) -> R) -> R {
     FALLBACK.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut ws) => f(&mut ws),
+        Ok(mut slots) => {
+            if let Some(i) = slots.iter().position(|(k, _)| *k == kind) {
+                f(&mut slots[i].1)
+            } else {
+                slots.push((kind, GemmWorkspace::new()));
+                let last = slots.last_mut().expect("just pushed");
+                f(&mut last.1)
+            }
+        }
         Err(_) => f(&mut GemmWorkspace::new()),
     })
 }
@@ -142,38 +162,10 @@ pub(crate) fn pack_b(buf: &mut Vec<f64>, n: usize, k: usize, src: impl Fn(usize,
     }
 }
 
-/// The `MR × NR` multiply-add microkernel: `acc[i][j] += a[k][i] · b[k][j]`
-/// for every `k` step of the packed panels, ascending. The accumulator
-/// stays in locals; the `MR·NR` lanes are independent, so the inner body
-/// vectorises without reassociating any per-element sum.
-#[inline]
-pub(crate) fn mk_mul_add(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
-    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
-        for (accr, &ai) in acc.iter_mut().zip(av) {
-            for (slot, &bj) in accr.iter_mut().zip(bv) {
-                *slot += ai * bj;
-            }
-        }
-    }
-}
-
-/// The subtractive microkernel: `acc[i][j] -= a[k][i] · b[k][j]`, `k`
-/// ascending — the trailing-update core of the blocked Cholesky.
-#[inline]
-pub(crate) fn mk_mul_sub(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
-    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
-        for (accr, &ai) in acc.iter_mut().zip(av) {
-            for (slot, &bj) in accr.iter_mut().zip(bv) {
-                *slot -= ai * bj;
-            }
-        }
-    }
-}
-
-/// Computes one band of output rows of `C = A·B` from packed panels,
-/// overwriting `out_band` (`rows_here × n`, row-major). `a_band` must hold
-/// exactly this band's A panels — bands produced by the MR-rounded pool
-/// split always start on a panel boundary.
+/// Computes one band of output rows of `C = A·B` from packed panels with
+/// the selected microkernel, overwriting `out_band` (`rows_here × n`,
+/// row-major). `a_band` must hold exactly this band's A panels — bands
+/// produced by the MR-rounded pool split always start on a panel boundary.
 pub(crate) fn gemm_band(
     out_band: &mut [f64],
     rows_here: usize,
@@ -181,6 +173,7 @@ pub(crate) fn gemm_band(
     k: usize,
     a_band: &[f64],
     b_pack: &[f64],
+    kernel: &Kernel,
 ) {
     let m_panels = rows_here.div_ceil(MR);
     let mut jc = 0;
@@ -195,7 +188,7 @@ pub(crate) fn gemm_band(
                 let w = NR.min(n - j0);
                 let b_panel = &b_pack[(j0 / NR) * k * NR..(j0 / NR + 1) * k * NR];
                 let mut acc = [[0.0; NR]; MR];
-                mk_mul_add(a_panel, b_panel, &mut acc);
+                (kernel.mul_add)(a_panel, b_panel, &mut acc);
                 for (lane, accr) in acc.iter().enumerate().take(h) {
                     let row = &mut out_band[(i0 + lane) * n + j0..][..w];
                     row.copy_from_slice(&accr[..w]);
@@ -221,6 +214,7 @@ pub(crate) fn gemm_band_lower(
     k: usize,
     a_pack: &[f64],
     b_pack: &[f64],
+    kernel: &Kernel,
 ) {
     let rows_here = out_band.len() / n;
     debug_assert_eq!(first_row % MR, 0, "triangular bands must align to MR");
@@ -243,7 +237,7 @@ pub(crate) fn gemm_band_lower(
             while j0 < jc_end && j0 <= i_max {
                 let b_panel = &b_pack[(j0 / NR) * k * NR..(j0 / NR + 1) * k * NR];
                 let mut acc = [[0.0; NR]; MR];
-                mk_mul_add(a_panel, b_panel, &mut acc);
+                (kernel.mul_add)(a_panel, b_panel, &mut acc);
                 for (lane, accr) in acc.iter().enumerate().take(h) {
                     let i = g0 + lane;
                     if j0 > i {
@@ -288,11 +282,12 @@ mod tests {
 
     #[test]
     fn microkernel_matches_scalar_tile() {
+        use crate::kernels::{scalar_mul_add, scalar_mul_sub};
         let k = 5;
         let a: Vec<f64> = (0..k * MR).map(|i| (i as f64 * 0.7).sin()).collect();
         let b: Vec<f64> = (0..k * NR).map(|i| (i as f64 * 0.3).cos()).collect();
         let mut acc = [[0.0; NR]; MR];
-        mk_mul_add(&a, &b, &mut acc);
+        scalar_mul_add(&a, &b, &mut acc);
         for (ii, accr) in acc.iter().enumerate() {
             for (jj, &got) in accr.iter().enumerate() {
                 let mut want = 0.0;
@@ -303,7 +298,7 @@ mod tests {
             }
         }
         let mut sub = acc;
-        mk_mul_sub(&a, &b, &mut sub);
+        scalar_mul_sub(&a, &b, &mut sub);
         for (ii, row) in sub.iter().enumerate() {
             for (jj, &got) in row.iter().enumerate() {
                 let mut want = acc[ii][jj];
@@ -321,5 +316,21 @@ mod tests {
         let b = GemmWorkspace::new();
         pack_a(&mut a.a_pack, 3, 3, |_, _| 1.0);
         assert_eq!(a, b, "scratch contents must not affect equality");
+    }
+
+    #[test]
+    fn fallback_workspaces_are_isolated_per_kernel() {
+        with_fallback_ws(KernelKind::Scalar, |ws| {
+            pack_a(&mut ws.a_pack, 8, 4, |i, k| (i + k) as f64);
+            assert_eq!(ws.a_pack.len(), 2 * 4 * MR);
+        });
+        // A different kernel kind gets its own (empty) buffers, never the
+        // panels packed under another kernel's layout.
+        with_fallback_ws(KernelKind::Avx2, |ws| {
+            assert!(ws.a_pack.is_empty(), "no cross-kernel panel reuse");
+        });
+        with_fallback_ws(KernelKind::Scalar, |ws| {
+            assert_eq!(ws.a_pack.len(), 2 * 4 * MR, "same kernel reuses");
+        });
     }
 }

@@ -8,6 +8,11 @@
 //! * [`gemm`] — the register-tiled, panel-packed GEMM microkernel family
 //!   every dense product routes through (see `DESIGN.md` §10), with
 //!   [`GemmWorkspace`] owning the reusable packing buffers.
+//! * [`kernels`] — runtime-dispatched SIMD microkernels (AVX2/SSE2/NEON
+//!   with a scalar floor, `DESIGN.md` §13): every strict kernel is
+//!   bitwise identical to scalar, selected once per process and
+//!   overridable via `DFR_KERNEL` / [`kernels::with_kernel`] /
+//!   [`kernels::set_kernel`].
 //! * [`cholesky`] — blocked Cholesky factorisation and solves for
 //!   symmetric positive-definite systems, used by the ridge-regression
 //!   readout.
@@ -37,13 +42,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD microkernels in [`kernels`] are
+// the one sanctioned unsafe island (std::arch intrinsics behind runtime
+// detection); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
 pub mod cholesky;
 mod error;
 pub mod gemm;
+#[allow(unsafe_code)]
+pub mod kernels;
 mod matrix;
 pub mod ridge;
 pub mod stats;

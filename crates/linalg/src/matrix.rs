@@ -1,4 +1,5 @@
 use crate::gemm::{self, GemmWorkspace, MR};
+use crate::kernels::{self, Kernel};
 use crate::LinalgError;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
@@ -260,7 +261,9 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
-        gemm::with_fallback_ws(|ws| self.matmul_into_ws(rhs, out, ws))
+        gemm::with_fallback_ws(kernels::active().kind(), |ws| {
+            self.matmul_into_ws(rhs, out, ws)
+        })
     }
 
     /// [`Matrix::matmul_into`] packing into a caller-owned
@@ -288,10 +291,11 @@ impl Matrix {
         if m == 0 || n == 0 {
             return Ok(());
         }
+        let kernel = kernels::active();
         let GemmWorkspace { a_pack, b_pack } = ws;
         gemm::pack_a(a_pack, m, k, |i, kk| self.data[i * k + kk]);
         gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[kk * n + j]);
-        drive_bands(out, k, a_pack, b_pack, m * k * n);
+        drive_bands(out, k, a_pack, b_pack, m * k * n, kernel);
         Ok(())
     }
 
@@ -317,7 +321,9 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
-        gemm::with_fallback_ws(|ws| self.t_matmul_into_ws(rhs, out, ws))
+        gemm::with_fallback_ws(kernels::active().kind(), |ws| {
+            self.t_matmul_into_ws(rhs, out, ws)
+        })
     }
 
     /// [`Matrix::t_matmul_into`] packing into a caller-owned
@@ -344,12 +350,13 @@ impl Matrix {
         if m == 0 || n == 0 {
             return Ok(());
         }
+        let kernel = kernels::active();
         let GemmWorkspace { a_pack, b_pack } = ws;
         // Left operand is selfᵀ: element (i, kk) of the product's A is
         // self[kk][i]; packing linearises the strided walk once.
         gemm::pack_a(a_pack, m, k, |i, kk| self.data[kk * m + i]);
         gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[kk * n + j]);
-        drive_bands(out, k, a_pack, b_pack, m * k * n);
+        drive_bands(out, k, a_pack, b_pack, m * k * n, kernel);
         Ok(())
     }
 
@@ -374,7 +381,9 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
     pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
-        gemm::with_fallback_ws(|ws| self.matmul_t_into_ws(rhs, out, ws))
+        gemm::with_fallback_ws(kernels::active().kind(), |ws| {
+            self.matmul_t_into_ws(rhs, out, ws)
+        })
     }
 
     /// [`Matrix::matmul_t_into`] packing into a caller-owned
@@ -401,12 +410,13 @@ impl Matrix {
         if m == 0 || n == 0 {
             return Ok(());
         }
+        let kernel = kernels::active();
         let GemmWorkspace { a_pack, b_pack } = ws;
         gemm::pack_a(a_pack, m, k, |i, kk| self.data[i * k + kk]);
         // Right operand is rhsᵀ: element (kk, j) of the product's B is
         // rhs[j][kk].
         gemm::pack_b(b_pack, n, k, |kk, j| rhs.data[j * k + kk]);
-        drive_bands(out, k, a_pack, b_pack, m * k * n);
+        drive_bands(out, k, a_pack, b_pack, m * k * n, kernel);
         Ok(())
     }
 
@@ -428,7 +438,7 @@ impl Matrix {
     /// to `n x n`, allocation reused). Same triangular banding, bitwise
     /// identical at every thread count.
     pub fn gram_into(&self, out: &mut Matrix) {
-        gemm::with_fallback_ws(|ws| self.gram_into_ws(out, ws));
+        gemm::with_fallback_ws(kernels::active().kind(), |ws| self.gram_into_ws(out, ws));
     }
 
     /// [`Matrix::gram_into`] packing into a caller-owned [`GemmWorkspace`].
@@ -438,10 +448,11 @@ impl Matrix {
         if n == 0 {
             return;
         }
+        let kernel = kernels::active();
         let GemmWorkspace { a_pack, b_pack } = ws;
         gemm::pack_a(a_pack, n, k, |i, kk| self.data[i * k + kk]);
         gemm::pack_b(b_pack, n, k, |kk, j| self.data[j * k + kk]);
-        drive_triangle_bands(out, k, a_pack, b_pack, n * n * k / 2);
+        drive_triangle_bands(out, k, a_pack, b_pack, n * n * k / 2, kernel);
         mirror_lower_to_upper(out);
     }
 
@@ -461,7 +472,7 @@ impl Matrix {
     /// [`Matrix::gram_t`] writing into a caller-owned output matrix (resized
     /// to `p x p`, allocation reused).
     pub fn gram_t_into(&self, out: &mut Matrix) {
-        gemm::with_fallback_ws(|ws| self.gram_t_into_ws(out, ws));
+        gemm::with_fallback_ws(kernels::active().kind(), |ws| self.gram_t_into_ws(out, ws));
     }
 
     /// [`Matrix::gram_t_into`] packing into a caller-owned
@@ -472,10 +483,11 @@ impl Matrix {
         if p == 0 {
             return;
         }
+        let kernel = kernels::active();
         let GemmWorkspace { a_pack, b_pack } = ws;
         gemm::pack_a(a_pack, p, k, |i, kk| self.data[kk * p + i]);
         gemm::pack_b(b_pack, p, k, |kk, j| self.data[kk * p + j]);
-        drive_triangle_bands(out, k, a_pack, b_pack, p * p * k / 2);
+        drive_triangle_bands(out, k, a_pack, b_pack, p * p * k / 2, kernel);
         mirror_lower_to_upper(out);
     }
 
@@ -846,9 +858,17 @@ const PAR_MIN_MADDS: usize = 1 << 18;
 /// one band per pool thread (or a single inline band when the arithmetic
 /// is too small to amortise a spawn). Band heights are rounded up to
 /// [`gemm::MR`] so every band starts on an A-panel boundary; the per-tile
-/// kernel is identical regardless of banding, so results are bit-identical
-/// at every thread count.
-fn drive_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds: usize) {
+/// kernel — resolved once at product entry and carried into every band —
+/// is identical regardless of banding, so results are bit-identical at
+/// every thread count.
+fn drive_bands(
+    out: &mut Matrix,
+    k: usize,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    madds: usize,
+    kernel: &'static Kernel,
+) {
     let (m, n) = out.shape();
     let threads = if madds < PAR_MIN_MADDS {
         1
@@ -861,7 +881,7 @@ fn drive_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds
         let first_panel = band * band_rows / MR;
         let panels_here = rows_here.div_ceil(MR);
         let a_band = &a_pack[first_panel * k * MR..(first_panel + panels_here) * k * MR];
-        gemm::gemm_band(out_band, rows_here, n, k, a_band, b_pack);
+        gemm::gemm_band(out_band, rows_here, n, k, a_band, b_pack, kernel);
     });
 }
 
@@ -875,7 +895,14 @@ fn drive_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds
 /// [`dfr_pool::par_parts_mut`], which keeps the pool's worker marking and
 /// nested-serial policy; per-element computation is unchanged by the
 /// banding, so results stay bit-identical at every thread count.
-fn drive_triangle_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f64], madds: usize) {
+fn drive_triangle_bands(
+    out: &mut Matrix,
+    k: usize,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    madds: usize,
+    kernel: &'static Kernel,
+) {
     let n = out.rows();
     let threads = if madds < PAR_MIN_MADDS {
         1
@@ -883,7 +910,7 @@ fn drive_triangle_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f6
         dfr_pool::max_threads().clamp(1, n.div_ceil(MR))
     };
     if threads <= 1 {
-        gemm::gemm_band_lower(out.data.as_mut_slice(), 0, n, k, a_pack, b_pack);
+        gemm::gemm_band_lower(out.data.as_mut_slice(), 0, n, k, a_pack, b_pack, kernel);
         return;
     }
     let mut bounds: Vec<usize> = (0..=threads)
@@ -899,7 +926,7 @@ fn drive_triangle_bands(out: &mut Matrix, k: usize, a_pack: &[f64], b_pack: &[f6
     }
     let part_lens: Vec<usize> = bounds.windows(2).map(|w| (w[1] - w[0]) * n).collect();
     dfr_pool::par_parts_mut(out.data.as_mut_slice(), &part_lens, |b, band| {
-        gemm::gemm_band_lower(band, bounds[b], n, k, a_pack, b_pack)
+        gemm::gemm_band_lower(band, bounds[b], n, k, a_pack, b_pack, kernel)
     });
 }
 

@@ -3,6 +3,7 @@
 use dfr_linalg::activation::{cross_entropy_from_logits, log_sum_exp, softmax};
 use dfr_linalg::cholesky::Cholesky;
 use dfr_linalg::gemm::{K_BLOCK, MR, NR};
+use dfr_linalg::kernels::{available, with_kernel, KernelKind};
 use dfr_linalg::ridge::{ridge_fit_with, RidgeMode, RidgePlan};
 use dfr_linalg::{dot, GemmWorkspace, Matrix};
 use proptest::prelude::*;
@@ -90,6 +91,108 @@ fn packed_products_match_naive_reference_on_ragged_edges() {
                 let want_gram_t = naive_matmul(&x.transpose(), &x);
                 x.gram_t_into_ws(&mut out, &mut ws);
                 assert_bits_eq(&out, &want_gram_t, "gram_t_into_ws");
+            }
+        }
+    }
+}
+
+/// The §13 kernel-differential suite: every product, every available
+/// *strict* kernel, pinned **bitwise** against the scalar kernel (itself
+/// pinned against the naive `i-k-j` reference above) over output dims
+/// `1..=9 × 1..=17` crossed with `k ∈ {1, 63, 64, 65}` — small enough to
+/// exercise every ragged-tile mask, with `k` straddling the `K_BLOCK`
+/// boundary. One shared workspace per kernel is recycled across every
+/// shape, so stale panels from another kernel's run can never leak
+/// (the keyed thread-local fallback is exercised by the `_into` forms).
+#[test]
+fn products_bit_identical_across_all_kernels() {
+    let kernels: Vec<_> = available().into_iter().filter(|k| k.is_strict()).collect();
+    assert!(!kernels.is_empty());
+    let mut out = Matrix::zeros(0, 0);
+    for m in 1..=9usize {
+        for n in 1..=17usize {
+            for k in [1usize, 63, 64, 65] {
+                let a = filled(m, k, 0.9);
+                let b = filled(k, n, 4.1);
+                let x = filled(m, k, 7.3);
+                let reference = with_kernel(KernelKind::Scalar, || {
+                    (
+                        a.matmul(&b).unwrap(),
+                        a.transpose().t_matmul(&b).unwrap(),
+                        a.matmul_t(&b.transpose()).unwrap(),
+                        x.gram(),
+                        x.gram_t(),
+                    )
+                });
+                for kernel in &kernels {
+                    with_kernel(kernel.kind(), || {
+                        let name = kernel.name();
+                        a.matmul_into(&b, &mut out).unwrap();
+                        assert_bits_eq(&out, &reference.0, &format!("{name} matmul {m}x{k}x{n}"));
+                        a.transpose().t_matmul_into(&b, &mut out).unwrap();
+                        assert_bits_eq(&out, &reference.1, &format!("{name} t_matmul {m}x{k}x{n}"));
+                        a.matmul_t_into(&b.transpose(), &mut out).unwrap();
+                        assert_bits_eq(&out, &reference.2, &format!("{name} matmul_t {m}x{k}x{n}"));
+                        x.gram_into(&mut out);
+                        assert_bits_eq(&out, &reference.3, &format!("{name} gram {m}x{k}"));
+                        x.gram_t_into(&mut out);
+                        assert_bits_eq(&out, &reference.4, &format!("{name} gram_t {m}x{k}"));
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The blocked Cholesky's trailing update runs through the dispatched
+/// subtractive microkernel — factors (and the first failing pivot) must be
+/// bitwise identical under every strict kernel, at sizes spanning the NB
+/// panel boundary.
+#[test]
+fn cholesky_bit_identical_across_all_kernels() {
+    for n in [1usize, 31, 33, 70, 101] {
+        let m = filled(n, n, 5.5);
+        let mut a = m.matmul_t(&m).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let reference = with_kernel(KernelKind::Scalar, || Cholesky::factor(&a).unwrap());
+        for kernel in available().into_iter().filter(|k| k.is_strict()) {
+            let got = with_kernel(kernel.kind(), || Cholesky::factor(&a).unwrap());
+            assert_bits_eq(
+                got.factor_l(),
+                reference.factor_l(),
+                &format!("{} cholesky n={n}", kernel.name()),
+            );
+        }
+    }
+}
+
+/// Tolerance oracle for the opt-in FMA kernels (`fast-math` builds only):
+/// fused results are *not* bit-identical, but every element must stay
+/// within a tight relative error of the strict scalar chain — each fused
+/// step replaces two correctly-rounded ops with one, so the divergence is
+/// bounded by ~k·ε relative to the accumulated magnitude.
+#[cfg(feature = "fast-math")]
+#[test]
+fn fma_kernels_track_strict_results_within_tolerance() {
+    let fused: Vec<_> = available().into_iter().filter(|k| !k.is_strict()).collect();
+    assert!(!fused.is_empty(), "fast-math builds always have scalar-fma");
+    for (m, n, k) in [(9, 17, 65), (5, 3, 64), (1, 1, 63), (8, 8, 1)] {
+        let a = filled(m, k, 1.1);
+        let b = filled(k, n, 2.2);
+        let strict = with_kernel(KernelKind::Scalar, || a.matmul(&b).unwrap());
+        for kernel in &fused {
+            let got = with_kernel(kernel.kind(), || a.matmul(&b).unwrap());
+            for (g, s) in got.as_slice().iter().zip(strict.as_slice()) {
+                // ~k·ε headroom on the element magnitude (entries are O(1),
+                // so |s| + k bounds the accumulated magnitude).
+                let tol = 1e-13 * (s.abs() + k as f64);
+                assert!(
+                    (g - s).abs() <= tol,
+                    "{} {m}x{k}x{n}: {g} vs {s} (tol {tol:e})",
+                    kernel.name()
+                );
             }
         }
     }

@@ -100,7 +100,9 @@ impl Mask {
     /// The product `J = U · Mᵀ` runs through the register-tiled GEMM
     /// microkernel of [`dfr_linalg::gemm`] (per element a `k`-ascending
     /// dot over the channels, bitwise equal to the row-by-row loop it
-    /// replaced).
+    /// replaced), under whichever SIMD kernel
+    /// [`dfr_linalg::kernels::active`] dispatches — every strict kernel
+    /// yields the same bits, so the masked drive is kernel-independent.
     ///
     /// # Panics
     ///
@@ -166,5 +168,24 @@ mod tests {
     fn apply_channel_mismatch_panics() {
         let m = Mask::binary(4, 2, 0);
         m.apply(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn apply_is_bit_identical_across_kernels() {
+        use dfr_linalg::kernels::{available, with_kernel};
+        // DPRR-shaped mask apply (tall series, few channels) — the serve
+        // hot path's first product.
+        let m = Mask::uniform(30, 13, 5);
+        let series = Matrix::from_vec(
+            97,
+            13,
+            (0..97 * 13).map(|i| ((i as f64) * 0.23).sin()).collect(),
+        )
+        .unwrap();
+        let reference = with_kernel(dfr_linalg::kernels::KernelKind::Scalar, || m.apply(&series));
+        for kernel in available().into_iter().filter(|k| k.is_strict()) {
+            let got = with_kernel(kernel.kind(), || m.apply(&series));
+            assert_eq!(got, reference, "kernel {}", kernel.name());
+        }
     }
 }

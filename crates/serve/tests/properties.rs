@@ -90,6 +90,57 @@ fn predict_batch_matches_per_sample_bitwise_for_ragged_sizes() {
     }
 }
 
+/// The §13 kernel-differential form of the batch contract: serving the
+/// same ragged workload under every available strict SIMD kernel yields
+/// bitwise-identical predictions and probabilities. Pool width is pinned
+/// to 1 because the thread-local `with_kernel` override does not reach
+/// products issued from inside pool workers; whole-process selection at
+/// width 4 is covered by the CI `DFR_KERNEL` matrix.
+#[test]
+fn predict_batch_bit_identical_across_kernels() {
+    use dfr_linalg::kernels::{available, with_kernel, KernelKind};
+    let m = model(6, 2, 3, 3);
+    let frozen = FrozenModel::freeze(&m);
+    let series = ragged_series(33, 2);
+    let mut session = ServeSession::builder(frozen).max_batch(16).build();
+    let reference: Vec<(usize, Vec<u64>)> = dfr_pool::with_threads(1, || {
+        with_kernel(KernelKind::Scalar, || {
+            let r = session.predict_batch(&series).unwrap();
+            (0..series.len())
+                .map(|i| {
+                    (
+                        r.predictions()[i],
+                        r.probabilities_of(i).iter().map(|p| p.to_bits()).collect(),
+                    )
+                })
+                .collect()
+        })
+    });
+    for kernel in available().into_iter().filter(|k| k.is_strict()) {
+        dfr_pool::with_threads(1, || {
+            with_kernel(kernel.kind(), || {
+                let r = session.predict_batch(&series).unwrap();
+                for (i, (class, bits)) in reference.iter().enumerate() {
+                    assert_eq!(
+                        r.predictions()[i],
+                        *class,
+                        "kernel={} sample {i}",
+                        kernel.name()
+                    );
+                    for (j, &b) in bits.iter().enumerate() {
+                        assert_eq!(
+                            r.probabilities_of(i)[j].to_bits(),
+                            b,
+                            "kernel={} sample {i} class {j}",
+                            kernel.name()
+                        );
+                    }
+                }
+            })
+        });
+    }
+}
+
 /// The row-ordering contract of `BatchResult::probabilities`: row `i`
 /// belongs to input sample `i` for **every** batch plan — in particular
 /// for plans whose final group is ragged, and for plans whose final group
