@@ -12,7 +12,9 @@
 //! recording the full round-trip latency of every one (encode → TCP →
 //! admission → coalesce → predict → TCP → decode). `Busy` rejections are
 //! honored by sleeping the server's retry hint and retrying — they count
-//! as backpressure events, not samples.
+//! as backpressure events, not samples. When the server runs with
+//! `DFR_FAULTS` injection, transport faults trigger a reconnect and
+//! quarantined samples are resubmitted; both count as `fault_recoveries`.
 //!
 //! **Oracle assert:** before any timing, every distinct series' expected
 //! (class, probability bits, digest) is computed through a direct
@@ -31,7 +33,7 @@ use dfr_core::trainer::{train, TrainOptions};
 use dfr_data::DatasetSpec;
 use dfr_linalg::Matrix;
 use dfr_serve::{FrozenModel, ServeSession};
-use dfr_server::{Client, ModelRegistry, Server, ServerConfig, ServerError, Status};
+use dfr_server::{Client, ModelRegistry, RetryPolicy, Server, ServerConfig, ServerError, Status};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -120,26 +122,44 @@ fn main() {
                 let expected = Arc::clone(&expected);
                 std::thread::spawn(move || {
                     let mut client = Client::connect(addr).expect("connect");
+                    // Effectively unbounded attempts: under saturation a
+                    // request may be rejected many times, and the bench
+                    // counts those as backpressure events, not failures.
+                    let policy = RetryPolicy {
+                        max_attempts: u32::MAX,
+                        seed: w as u64,
+                        ..RetryPolicy::default()
+                    };
                     let mut latencies_us = Vec::with_capacity(requests);
                     let mut busy = 0u64;
+                    let mut faulted = 0u64;
+                    // Under `DFR_FAULTS` the server deliberately tears
+                    // connections and quarantines samples; those are
+                    // recoverable, so the bench reconnects/resubmits
+                    // (bounded) instead of treating them as failures.
+                    let fault_budget = 50 * requests as u64;
                     for r in 0..requests {
                         let i = (w * 17 + r) % series.len();
                         let start = Instant::now();
-                        let got = loop {
-                            match client.predict(&series[i]) {
-                                Ok(p) => break p,
-                                Err(ServerError::Rejected {
-                                    status: Status::Busy,
-                                    retry_after_ms,
-                                }) => {
-                                    busy += 1;
-                                    std::thread::sleep(Duration::from_millis(
-                                        retry_after_ms.max(1) as u64,
-                                    ));
+                        let (got, retries) = loop {
+                            match client.call_with_retry(&series[i], 0, &policy) {
+                                Ok(answer) => break answer,
+                                Err(ServerError::Io(_)) | Err(ServerError::Frame(_)) => {
+                                    faulted += 1;
+                                    client = Client::connect(addr).expect("reconnect");
                                 }
+                                Err(ServerError::Rejected {
+                                    status: Status::Internal | Status::PredictFailed,
+                                    ..
+                                }) => faulted += 1,
                                 Err(e) => panic!("client {w} request {r}: {e}"),
                             }
+                            assert!(
+                                faulted <= fault_budget,
+                                "client {w} exceeded the fault-recovery budget"
+                            );
                         };
+                        busy += u64::from(retries);
                         latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
                         // Oracle assert: the network must not change bytes.
                         let (class, bits, digest) = &expected[i];
@@ -149,17 +169,19 @@ fn main() {
                             got.probabilities.iter().map(|p| p.to_bits()).collect();
                         assert_eq!(&got_bits, bits, "client {w} series {i} probabilities");
                     }
-                    (latencies_us, busy)
+                    (latencies_us, busy, faulted)
                 })
             })
             .collect();
 
         let mut latencies = Vec::with_capacity(clients * requests);
         let mut busy_total = 0u64;
+        let mut faulted_total = 0u64;
         for wkr in workers {
-            let (lat, busy) = wkr.join().expect("client thread");
+            let (lat, busy, faulted) = wkr.join().expect("client thread");
             latencies.extend(lat);
             busy_total += busy;
+            faulted_total += faulted;
         }
         let wall = sweep_start.elapsed().as_secs_f64();
         let total = (clients * requests) as f64;
@@ -172,7 +194,7 @@ fn main() {
         );
         println!(
             "clients {clients:>2}  {rps:>9.1} req/s  p50 {p50:>8.1} µs  p99 {p99:>8.1} µs  \
-             p999 {p999:>8.1} µs  busy {busy_total}"
+             p999 {p999:>8.1} µs  busy {busy_total}  fault recoveries {faulted_total}"
         );
         json_rows.push(json_object(&[
             ("config", json_str("loopback_load")),
@@ -184,6 +206,7 @@ fn main() {
             ("p99_us", json_f64(p99)),
             ("p999_us", json_f64(p999)),
             ("busy_rejections", busy_total.to_string()),
+            ("fault_recoveries", faulted_total.to_string()),
             ("oracle_checked", "true".to_string()),
             ("available_cores", cores.to_string()),
         ]));

@@ -144,6 +144,19 @@ impl ServeSession {
         self.threads
     }
 
+    /// Discards and rebuilds the session's reusable workspaces.
+    ///
+    /// Predictions are pure functions of (model, input) and the
+    /// workspaces are fully overwritten per call, so this never changes
+    /// results — its purpose is recovery: after a panic unwinds out of a
+    /// serve (`dfr-server` catches it), the buffers may hold a
+    /// half-written state, and resetting restores the freshly-built
+    /// invariant without rebuilding the session or touching the model.
+    pub fn reset(&mut self) {
+        self.state = ServeState::new();
+        self.one = ServeWorkspace::new();
+    }
+
     /// Replaces the served model, returning the previous one — the
     /// hot-swap primitive: the next predict call serves the new parameters
     /// while the warm workspaces (whose shapes depend only on the

@@ -4,12 +4,68 @@
 //! (request ids are still checked, so a desynced server is detected
 //! rather than silently mis-paired). Load generators open one client per
 //! worker thread.
+//!
+//! Backpressure is part of the protocol — the server answers `Busy` with
+//! a `retry_after_ms` hint instead of queueing unboundedly — so the
+//! client carries the matching retry discipline:
+//! [`Client::call_with_retry`] backs off with seeded, jittered
+//! exponential delays (never below the server's hint) until the request
+//! is admitted or [`RetryPolicy::max_attempts`] is spent.
 
 use crate::error::ServerError;
 use crate::frame::{decode_response, read_frame, Request, Response, Status, DEFAULT_MAX_BODY};
 use dfr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Backoff discipline for [`Client::call_with_retry`].
+///
+/// Attempt `k` (counting from 0) that is rejected `Busy` sleeps
+/// `max(hint, base · 2^k · jitter)` where `hint` is the server's
+/// `retry_after_ms`, the exponential is capped at [`cap`](Self::cap),
+/// and `jitter` is drawn uniformly from `[0.5, 1.0]` so a herd of
+/// clients rejected together does not retry together.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts before the last `Busy` rejection is returned to
+    /// the caller. Default 8.
+    pub max_attempts: u32,
+    /// First backoff step. Default 1 ms.
+    pub base: Duration,
+    /// Upper bound on the exponential step (the server hint may still
+    /// exceed it). Default 100 ms.
+    pub cap: Duration,
+    /// Seed for the jitter stream; mixed with the request id so every
+    /// retried request jitters independently but reproducibly. Default 0.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retrying attempt `attempt` (0-based),
+    /// honoring the server's `retry_after_ms` hint as a floor.
+    fn backoff(&self, attempt: u32, hint_ms: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        let jittered = exp.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
+        jittered.max(Duration::from_millis(u64::from(hint_ms)))
+    }
+}
 
 /// A blocking, single-connection client.
 pub struct Client {
@@ -52,6 +108,20 @@ impl Client {
         })
     }
 
+    /// Applies a read/write timeout to the connection (`None` blocks
+    /// forever, the default). With a timeout set, a hung server surfaces
+    /// as a transport error instead of wedging the calling thread — the
+    /// chaos soak runs every client this way.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] if the socket options cannot be set.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServerError> {
+        self.reader.set_read_timeout(timeout)?;
+        self.reader.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
     /// Sends one request and blocks for its response (raw form — exposes
     /// every status).
     ///
@@ -71,11 +141,16 @@ impl Client {
         crate::frame::encode_request(&req, &mut self.frame);
         self.writer.write_all(&self.frame)?;
         self.writer.flush()?;
+        // A clean close before the response is a transport condition
+        // (the peer hung up), not a protocol violation — surface it as
+        // an IO error so retry layers can classify it uniformly with
+        // resets and timeouts.
         let body =
             read_frame(&mut self.reader, &mut self.buf, self.max_body)?.ok_or_else(|| {
-                ServerError::UnexpectedResponse {
-                    detail: "connection closed before the response".into(),
-                }
+                ServerError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the response",
+                ))
             })?;
         let resp = decode_response(body)?;
         if resp.request_id != request_id {
@@ -124,5 +199,47 @@ impl Client {
             probabilities: resp.probabilities,
             digest: resp.digest,
         })
+    }
+
+    /// [`predict_pinned`](Self::predict_pinned) with `Busy` handled: on a
+    /// `Busy` rejection the call sleeps per `policy` (jittered
+    /// exponential backoff, floored at the server's `retry_after_ms`
+    /// hint) and retries, up to [`RetryPolicy::max_attempts`]. Returns
+    /// the prediction plus how many `Busy` rejections were absorbed.
+    ///
+    /// Only `Busy` is retried. Every other rejection is typed and final
+    /// for this request (`UnknownDigest`, `Malformed`, `ShuttingDown`,
+    /// `PredictFailed`, `Internal`), and transport errors are returned
+    /// immediately — the connection state is unknown, so reconnecting is
+    /// the caller's decision, not this method's.
+    ///
+    /// # Errors
+    ///
+    /// The final [`ServerError::Rejected`] when attempts run out, or any
+    /// non-`Busy` error as soon as it happens.
+    pub fn call_with_retry(
+        &mut self,
+        series: &Matrix,
+        digest_pin: u64,
+        policy: &RetryPolicy,
+    ) -> Result<(ClientPrediction, u32), ServerError> {
+        // Mix the request id into the seed so concurrent clients sharing
+        // a policy (and one client's successive calls) jitter apart.
+        let mut rng =
+            StdRng::seed_from_u64(policy.seed ^ self.next_id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut busy_retries = 0u32;
+        loop {
+            match self.predict_pinned(series, digest_pin) {
+                Ok(prediction) => return Ok((prediction, busy_retries)),
+                Err(ServerError::Rejected {
+                    status: Status::Busy,
+                    retry_after_ms,
+                }) if busy_retries + 1 < policy.max_attempts.max(1) => {
+                    std::thread::sleep(policy.backoff(busy_retries, retry_after_ms, &mut rng));
+                    busy_retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }

@@ -41,6 +41,11 @@ pub enum ServerError {
         /// What was wrong.
         detail: String,
     },
+    /// The on-disk model store could not be persisted or reloaded.
+    Store {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -68,6 +73,9 @@ impl fmt::Display for ServerError {
             }
             ServerError::UnexpectedResponse { detail } => {
                 write!(f, "unexpected response: {detail}")
+            }
+            ServerError::Store { detail } => {
+                write!(f, "model store error: {detail}")
             }
         }
     }
@@ -136,5 +144,11 @@ mod tests {
             detail: "id mismatch".into(),
         };
         assert!(e.to_string().contains("id mismatch"));
+
+        let e = ServerError::Store {
+            detail: "truncated model file".into(),
+        };
+        assert!(e.to_string().contains("model store"));
+        assert!(e.source().is_none());
     }
 }

@@ -1,0 +1,477 @@
+//! Deterministic, seeded fault injection for the serving stack.
+//!
+//! The only way to trust a failure model is to exercise it: this module
+//! lets the server inject the faults edge deployments actually see —
+//! stalled reads, torn frames, mid-frame disconnects, slow-drip writes,
+//! and panics inside the batcher — **deterministically per seed**, in
+//! the same binary that ships. A [`FaultPlan`] is threaded through
+//! [`ServerConfig`](crate::ServerConfig); the default
+//! [`FaultPlan::none`] is a single `Option` check on each I/O call and
+//! injects nothing, so production pays nothing for carrying the
+//! machinery.
+//!
+//! Faults are drawn from the in-tree xoshiro256++ generator
+//! ([`rand::rngs::StdRng`]), one independent stream per connection half
+//! (reader/writer) and one for the batcher, each derived from the plan
+//! seed — so a given seed produces the same *decision sequence* even
+//! though wall-clock interleaving still varies. The chaos soak in
+//! `tests/chaos.rs` runs a fixed seed set and asserts the bit-identity
+//! contract survives every one.
+//!
+//! # Env knobs
+//!
+//! `DFR_FAULTS` turns fault injection on for any server constructed with
+//! a default [`ServerConfig`](crate::ServerConfig), e.g.:
+//!
+//! ```text
+//! DFR_FAULTS="seed=7,torn_read=0.2,disconnect=0.02,panic_batch=0.05"
+//! ```
+//!
+//! Keys: `seed` (u64), `read_delay` / `torn_read` / `disconnect` /
+//! `slow_write` / `panic_batch` / `panic_sample` (probabilities in
+//! `[0,1]`), `read_delay_us` / `write_delay_us` (stall lengths).
+//! Unknown keys or unparsable values panic loudly — a chaos run with a
+//! typo'd knob silently testing nothing is worse than a crash.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message carried by every injected panic, so test panic hooks can
+/// distinguish scheduled faults from real bugs.
+pub const INJECTED_PANIC: &str = "injected fault (scheduled by FaultPlan)";
+
+/// Probabilities and magnitudes of each injected fault class.
+///
+/// All probabilities are per *event* (one I/O call, one batch, one
+/// quarantined sample), drawn independently from the plan's seeded
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a read call stalls for [`FaultSpec::read_delay_us`]
+    /// before touching the socket (slow client / congested link).
+    pub read_delay: f64,
+    /// Length of an injected read stall, in microseconds.
+    pub read_delay_us: u64,
+    /// Probability a read call returns at most one byte (torn / partial
+    /// frames: the framing layer must reassemble).
+    pub torn_read: f64,
+    /// Probability an I/O call fails with `ConnectionReset` mid-frame
+    /// (flaky network, peer crash).
+    pub disconnect: f64,
+    /// Probability a write call drips only a few bytes after stalling
+    /// for [`FaultSpec::write_delay_us`] (slow-reading client).
+    pub slow_write: f64,
+    /// Length of an injected write stall, in microseconds.
+    pub write_delay_us: u64,
+    /// Probability one coalesced batch's serve panics inside the
+    /// batcher (exercises `catch_unwind` isolation).
+    pub panic_batch: f64,
+    /// Probability one per-sample serve (the quarantine fallback path)
+    /// panics, leaving that sample with a typed `Internal` rejection.
+    pub panic_sample: f64,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (all probabilities zero).
+    pub fn quiet() -> Self {
+        FaultSpec {
+            read_delay: 0.0,
+            read_delay_us: 0,
+            torn_read: 0.0,
+            disconnect: 0.0,
+            slow_write: 0.0,
+            write_delay_us: 0,
+            panic_batch: 0.0,
+            panic_sample: 0.0,
+        }
+    }
+
+    /// The chaos-soak profile: every fault class active at a rate that
+    /// keeps a soak finishing quickly while still firing each class many
+    /// times per run.
+    pub fn chaos() -> Self {
+        FaultSpec {
+            read_delay: 0.05,
+            read_delay_us: 2_000,
+            torn_read: 0.20,
+            disconnect: 0.02,
+            slow_write: 0.10,
+            write_delay_us: 500,
+            panic_batch: 0.15,
+            panic_sample: 0.25,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    spec: FaultSpec,
+}
+
+/// A seeded fault-injection plan, threaded through
+/// [`ServerConfig`](crate::ServerConfig).
+///
+/// [`FaultPlan::none`] (the default) is zero-cost on the hot path: the
+/// plan is one `Option<Arc<_>>`, and every injection site is a single
+/// `is_none` check. A seeded plan derives an independent deterministic
+/// stream per connection half and for the batcher.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Inner>>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: nothing is injected, checks compile down to an
+    /// `Option` test.
+    pub fn none() -> Self {
+        FaultPlan { inner: None }
+    }
+
+    /// A plan injecting `spec`'s faults, deterministically in `seed`.
+    pub fn seeded(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            inner: Some(Arc::new(Inner { seed, spec })),
+        }
+    }
+
+    /// Builds a plan from the `DFR_FAULTS` environment variable, or
+    /// [`FaultPlan::none`] when it is unset (see the module docs for the
+    /// knob syntax).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown keys or unparsable values — a chaos run with a
+    /// typo'd knob must fail loudly, not silently inject nothing.
+    pub fn from_env() -> Self {
+        match std::env::var("DFR_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => Self::parse(&s),
+            _ => FaultPlan::none(),
+        }
+    }
+
+    /// Parses the `DFR_FAULTS` knob syntax (`key=value`, comma-separated).
+    fn parse(s: &str) -> Self {
+        let mut seed = 0u64;
+        let mut spec = FaultSpec::quiet();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .unwrap_or_else(|| panic!("DFR_FAULTS: expected key=value, got {part:?}"));
+            let fail = |what: &str| -> ! { panic!("DFR_FAULTS: bad {what} in {part:?}") };
+            let prob = |slot: &mut f64| {
+                let p: f64 = value.parse().unwrap_or_else(|_| fail("probability"));
+                if !(0.0..=1.0).contains(&p) {
+                    fail("probability (must be in [0,1])");
+                }
+                *slot = p;
+            };
+            match key.trim() {
+                "seed" => seed = value.parse().unwrap_or_else(|_| fail("seed")),
+                "read_delay" => prob(&mut spec.read_delay),
+                "torn_read" => prob(&mut spec.torn_read),
+                "disconnect" => prob(&mut spec.disconnect),
+                "slow_write" => prob(&mut spec.slow_write),
+                "panic_batch" => prob(&mut spec.panic_batch),
+                "panic_sample" => prob(&mut spec.panic_sample),
+                "read_delay_us" => {
+                    spec.read_delay_us = value.parse().unwrap_or_else(|_| fail("microseconds"))
+                }
+                "write_delay_us" => {
+                    spec.write_delay_us = value.parse().unwrap_or_else(|_| fail("microseconds"))
+                }
+                other => panic!("DFR_FAULTS: unknown knob {other:?}"),
+            }
+        }
+        FaultPlan::seeded(seed, spec)
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The plan seed, when faults are active.
+    pub fn seed(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.seed)
+    }
+
+    /// Derives the independent fault stream for one connection half.
+    /// `role` distinguishes the reader (0) from the writer (1) so their
+    /// decision streams never correlate.
+    pub(crate) fn io_faults(&self, connection: u64, role: u64) -> Option<IoFaults> {
+        self.inner.as_ref().map(|inner| IoFaults {
+            plan: Arc::clone(inner),
+            rng: StdRng::seed_from_u64(
+                inner
+                    .seed
+                    .wrapping_add(connection.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .wrapping_add(role.wrapping_mul(0xd1b5_4a32_d192_ed03)),
+            ),
+        })
+    }
+
+    /// Derives the batcher's panic-injection stream.
+    pub(crate) fn serve_faults(&self) -> Option<ServeFaults> {
+        self.inner.as_ref().map(|inner| ServeFaults {
+            plan: Arc::clone(inner),
+            rng: StdRng::seed_from_u64(inner.seed ^ 0xbad_c0ff_ee00_fa17),
+        })
+    }
+}
+
+/// One connection half's fault stream (owned by that half's thread).
+#[derive(Debug)]
+pub(crate) struct IoFaults {
+    plan: Arc<Inner>,
+    rng: StdRng,
+}
+
+impl IoFaults {
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+}
+
+/// A `Read` adapter injecting the plan's read-side faults: stalls, torn
+/// (single-byte) reads, and mid-frame disconnects.
+#[derive(Debug)]
+pub(crate) struct FaultyRead<R> {
+    inner: R,
+    faults: Option<IoFaults>,
+}
+
+impl<R> FaultyRead<R> {
+    pub(crate) fn new(inner: R, faults: Option<IoFaults>) -> Self {
+        FaultyRead { inner, faults }
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(f) = self.faults.as_mut() else {
+            return self.inner.read(buf);
+        };
+        if f.roll(f.plan.spec.disconnect) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                INJECTED_PANIC,
+            ));
+        }
+        if f.roll(f.plan.spec.read_delay) {
+            std::thread::sleep(Duration::from_micros(f.plan.spec.read_delay_us));
+        }
+        if f.roll(f.plan.spec.torn_read) && !buf.is_empty() {
+            // A torn read: hand the framing layer one byte at a time so
+            // it must reassemble across calls.
+            return self.inner.read(&mut buf[..1]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// A `Write` adapter injecting the plan's write-side faults: slow-drip
+/// partial writes and mid-frame disconnects.
+#[derive(Debug)]
+pub(crate) struct FaultyWrite<W> {
+    inner: W,
+    faults: Option<IoFaults>,
+}
+
+impl<W> FaultyWrite<W> {
+    pub(crate) fn new(inner: W, faults: Option<IoFaults>) -> Self {
+        FaultyWrite { inner, faults }
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(f) = self.faults.as_mut() else {
+            return self.inner.write(buf);
+        };
+        if f.roll(f.plan.spec.disconnect) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                INJECTED_PANIC,
+            ));
+        }
+        if f.roll(f.plan.spec.slow_write) && buf.len() > 1 {
+            // Slow drip: stall, then let only a sliver through. The
+            // caller's write_all loop (or BufWriter) must keep going.
+            std::thread::sleep(Duration::from_micros(f.plan.spec.write_delay_us));
+            let n = 1 + (f.rng.gen::<u64>() % 7) as usize;
+            return self.inner.write(&buf[..n.min(buf.len())]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The batcher's scheduled-panic stream (owned by the batcher thread).
+#[derive(Debug)]
+pub(crate) struct ServeFaults {
+    plan: Arc<Inner>,
+    rng: StdRng,
+}
+
+impl ServeFaults {
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    /// Panics (inside the batcher's `catch_unwind`) when the plan
+    /// schedules a batch-level fault.
+    pub(crate) fn maybe_panic_batch(&mut self) {
+        if self.roll(self.plan.spec.panic_batch) {
+            panic!("{INJECTED_PANIC}: batch serve");
+        }
+    }
+
+    /// Panics (inside the per-sample `catch_unwind`) when the plan
+    /// schedules a sample-level fault.
+    pub(crate) fn maybe_panic_sample(&mut self) {
+        if self.roll(self.plan.spec.panic_sample) {
+            panic!("{INJECTED_PANIC}: per-sample serve");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.seed().is_none());
+        assert!(plan.io_faults(0, 0).is_none());
+        assert!(plan.serve_faults().is_none());
+
+        // A FaultyRead/Write with no faults passes bytes through intact.
+        let data = b"hello frames".to_vec();
+        let mut r = FaultyRead::new(data.as_slice(), None);
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(got, data);
+
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, None);
+        w.write_all(&data).unwrap();
+        w.flush().unwrap();
+        assert_eq!(sink, data);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_per_stream() {
+        let plan = FaultPlan::seeded(42, FaultSpec::chaos());
+        let decisions = |conn: u64, role: u64| -> Vec<bool> {
+            let mut f = plan.io_faults(conn, role).unwrap();
+            (0..64).map(|_| f.roll(0.5)).collect()
+        };
+        assert_eq!(decisions(3, 0), decisions(3, 0), "same stream, same rolls");
+        assert_ne!(
+            decisions(3, 0),
+            decisions(3, 1),
+            "reader and writer streams are independent"
+        );
+        assert_ne!(decisions(3, 0), decisions(4, 0), "per-connection streams");
+    }
+
+    #[test]
+    fn torn_reads_still_deliver_every_byte() {
+        let plan = FaultPlan::seeded(7, {
+            let mut s = FaultSpec::quiet();
+            s.torn_read = 0.9;
+            s
+        });
+        let data: Vec<u8> = (0..=255).collect();
+        let mut r = FaultyRead::new(data.as_slice(), plan.io_faults(0, 0));
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(got, data, "tearing reorders nothing and loses nothing");
+    }
+
+    #[test]
+    fn slow_drip_writes_still_deliver_every_byte() {
+        let plan = FaultPlan::seeded(9, {
+            let mut s = FaultSpec::quiet();
+            s.slow_write = 0.9;
+            s.write_delay_us = 1;
+            s
+        });
+        let data: Vec<u8> = (0..=255).rev().collect();
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, plan.io_faults(0, 1));
+        w.write_all(&data).unwrap();
+        assert_eq!(sink, data);
+    }
+
+    #[test]
+    fn disconnects_surface_as_connection_reset() {
+        let plan = FaultPlan::seeded(11, {
+            let mut s = FaultSpec::quiet();
+            s.disconnect = 1.0;
+            s
+        });
+        let data = [1u8; 16];
+        let mut r = FaultyRead::new(data.as_slice(), plan.io_faults(0, 0));
+        let mut buf = [0u8; 16];
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let mut w = FaultyWrite::new(Vec::new(), plan.io_faults(0, 1));
+        assert_eq!(
+            w.write(&data).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+    }
+
+    #[test]
+    fn env_knob_parses_and_rejects_garbage() {
+        let plan = FaultPlan::parse("seed=7, torn_read=0.25, panic_batch=1.0, read_delay_us=50");
+        assert_eq!(plan.seed(), Some(7));
+        let inner = plan.inner.as_ref().unwrap();
+        assert_eq!(inner.spec.torn_read, 0.25);
+        assert_eq!(inner.spec.panic_batch, 1.0);
+        assert_eq!(inner.spec.read_delay_us, 50);
+        assert_eq!(inner.spec.disconnect, 0.0, "unset knobs stay quiet");
+
+        for bad in ["seed", "seed=x", "torn_read=1.5", "unknown=1"] {
+            assert!(
+                std::panic::catch_unwind(|| FaultPlan::parse(bad)).is_err(),
+                "{bad:?} must be rejected loudly"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_panics_fire_and_are_catchable() {
+        let plan = FaultPlan::seeded(3, {
+            let mut s = FaultSpec::quiet();
+            s.panic_batch = 1.0;
+            s
+        });
+        let mut sf = plan.serve_faults().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sf.maybe_panic_batch();
+        }));
+        assert!(caught.is_err(), "a certain fault must fire");
+        let msg = caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("panic payload is a string");
+        assert!(msg.contains(INJECTED_PANIC));
+        // panic_sample stays quiet on this spec.
+        sf.maybe_panic_sample();
+    }
+}

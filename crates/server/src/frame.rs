@@ -70,6 +70,10 @@ pub enum Status {
     PredictFailed = 4,
     /// The server is shutting down and no longer admits requests.
     ShuttingDown = 5,
+    /// The serve for this sample panicked and was quarantined; the
+    /// request was not answered with a prediction. Not retryable against
+    /// the same sample without investigation.
+    Internal = 6,
 }
 
 impl Status {
@@ -87,6 +91,7 @@ impl Status {
             3 => Some(Status::UnknownDigest),
             4 => Some(Status::PredictFailed),
             5 => Some(Status::ShuttingDown),
+            6 => Some(Status::Internal),
             _ => None,
         }
     }
@@ -101,6 +106,7 @@ impl fmt::Display for Status {
             Status::UnknownDigest => "unknown digest",
             Status::PredictFailed => "predict failed",
             Status::ShuttingDown => "shutting down",
+            Status::Internal => "internal",
         };
         f.write_str(name)
     }

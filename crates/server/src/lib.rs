@@ -24,7 +24,17 @@
 //!   session directly, pinned by the loopback suite in
 //!   `tests/loopback.rs`.
 //! * [`Client`] — a small blocking client used by the tests and the
-//!   `server_bench` load generator.
+//!   `server_bench` load generator, with built-in jittered-backoff
+//!   retry ([`Client::call_with_retry`]) honoring the server's
+//!   `retry_after_ms` hints.
+//! * [`faults`] — deterministic, seeded fault injection (delayed/torn
+//!   reads, slow-drip writes, mid-frame disconnects, scheduled panics)
+//!   compiled into the shipping binary behind a zero-cost
+//!   [`FaultPlan::none`] default. The failure-hardening it exercises —
+//!   idle-connection reaping, `catch_unwind` panic quarantine, graceful
+//!   drain, crash-safe model persistence
+//!   ([`ModelRegistry::persist_to`]/[`ModelRegistry::load_from`]) — is
+//!   soaked in `tests/chaos.rs` and documented in `DESIGN.md` §14.
 //!
 //! # Example
 //!
@@ -58,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod frame;
 
 mod client;
@@ -66,9 +77,10 @@ mod queue;
 mod registry;
 mod server;
 
-pub use client::{Client, ClientPrediction};
+pub use client::{Client, ClientPrediction, RetryPolicy};
 pub use error::ServerError;
+pub use faults::{FaultPlan, FaultSpec, INJECTED_PANIC};
 pub use frame::{Status, DEFAULT_MAX_BODY, PROTOCOL_VERSION};
 pub use queue::{AdmissionQueue, AdmitError};
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, PersistReport};
 pub use server::{Server, ServerConfig, StatsSnapshot};

@@ -252,4 +252,161 @@ mod tests {
         q.try_push(1).unwrap();
         assert!(matches!(q.try_push(2), Err((2, AdmitError::Full))));
     }
+
+    /// Concurrent pushers racing `close()`: every push must resolve to
+    /// exactly one of Ok / Full / Closed (the item coming back on the
+    /// errors), and the drained count must equal the Ok count — no item
+    /// admitted-then-lost, none duplicated.
+    #[test]
+    fn concurrent_pushers_racing_close_lose_nothing() {
+        for round in 0..20u32 {
+            let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(8));
+            let pushers: Vec<_> = (0..4u32)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || {
+                        let mut admitted = Vec::new();
+                        for i in 0..50u32 {
+                            let item = p * 1000 + i;
+                            match q.try_push(item) {
+                                Ok(()) => admitted.push(item),
+                                Err((returned, AdmitError::Full)) => {
+                                    assert_eq!(returned, item);
+                                    thread::yield_now();
+                                }
+                                Err((returned, AdmitError::Closed)) => {
+                                    assert_eq!(returned, item);
+                                    break;
+                                }
+                            }
+                        }
+                        admitted
+                    })
+                })
+                .collect();
+            let closer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    // Vary the race window across rounds.
+                    if round % 2 == 0 {
+                        thread::yield_now();
+                    } else {
+                        thread::sleep(Duration::from_micros(u64::from(round) * 50));
+                    }
+                    q.close();
+                })
+            };
+            let drainer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    let mut seen = Vec::new();
+                    while q.fill_batch(&mut out, 8, Duration::from_millis(1)) {
+                        seen.extend(out.iter().copied());
+                    }
+                    seen
+                })
+            };
+            let mut admitted: Vec<u32> = pushers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            closer.join().unwrap();
+            let mut drained = drainer.join().unwrap();
+            admitted.sort_unstable();
+            drained.sort_unstable();
+            assert_eq!(
+                admitted, drained,
+                "round {round}: admitted set must equal drained set"
+            );
+            assert!(q.is_empty());
+        }
+    }
+
+    /// `fill_batch` boundary behavior: a zero budget with items queued
+    /// returns immediately with what exists; a closed queue with
+    /// leftovers serves them (true) before signalling exit (false); the
+    /// exit signal is sticky.
+    #[test]
+    fn fill_batch_deadlines_at_queue_boundaries() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let mut out = Vec::new();
+        let start = Instant::now();
+        assert!(q.fill_batch(&mut out, 8, Duration::ZERO));
+        assert_eq!(out, vec![1, 2]);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "zero budget must not wait for a full batch"
+        );
+
+        q.try_push(3).unwrap();
+        q.close();
+        // Leftovers are still served after close…
+        assert!(q.fill_batch(&mut out, 8, Duration::from_secs(5)));
+        assert_eq!(out, vec![3]);
+        // …and only then does the consumer get the exit signal, which
+        // stays down and clears the batch.
+        assert!(!q.fill_batch(&mut out, 8, Duration::from_secs(5)));
+        assert!(out.is_empty());
+        assert!(!q.fill_batch(&mut out, 8, Duration::ZERO));
+    }
+
+    /// The Full→returned-item contract under contention: with capacity
+    /// 1, distinct values pushed from many threads, every rejected push
+    /// hands back exactly the value it was given.
+    #[test]
+    fn full_returns_the_exact_item_under_contention() {
+        let q: Arc<AdmissionQueue<u64>> = Arc::new(AdmissionQueue::new(1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pushers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut ok = 0u64;
+                    for i in 0..200u64 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        let item = p << 32 | i;
+                        match q.try_push(item) {
+                            Ok(()) => ok += 1,
+                            Err((returned, AdmitError::Full)) => assert_eq!(
+                                returned, item,
+                                "Full must return the rejected item itself"
+                            ),
+                            Err((_, AdmitError::Closed)) => unreachable!("never closed here"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let drainer = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut drained = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if q.fill_batch(&mut out, 1, Duration::ZERO) {
+                        drained += out.len() as u64;
+                    }
+                }
+                // Final sweep after the pushers stopped.
+                while !q.is_empty() && q.fill_batch(&mut out, 4, Duration::ZERO) {
+                    drained += out.len() as u64;
+                }
+                drained
+            })
+        };
+        let admitted: u64 = pushers.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Unblock the drainer if it is parked on an empty queue.
+        q.close();
+        let drained = drainer.join().unwrap();
+        assert_eq!(admitted, drained, "every admitted item is drained once");
+    }
 }

@@ -1,5 +1,5 @@
 //! The serving loop: accept → frame → admit → coalesce → predict →
-//! respond.
+//! respond — with a tested failure model.
 //!
 //! Thread shape (all on `std` primitives — no async runtime):
 //!
@@ -19,16 +19,36 @@
 //! admission order through `ServeSession::predict_batch`, whose results
 //! are bitwise identical to any other grouping of the same samples
 //! (`DESIGN.md` §11), so coalescing never changes a client's bytes.
+//!
+//! # Failure model (`DESIGN.md` §14)
+//!
+//! Every connection half carries a read/write timeout
+//! ([`ServerConfig::idle_timeout`]): a stalled or slow-loris client is
+//! **reaped** — disconnected and counted — instead of pinning a reader
+//! thread or backing up the writer. The batcher wraps every serve in
+//! [`std::panic::catch_unwind`]: a panicking batch falls back to
+//! per-sample serving, and a panicking *sample* is **quarantined** with
+//! a typed [`Status::Internal`] rejection while the rest of the batch
+//! still gets bitwise-correct answers; the session's workspaces are
+//! rebuilt after any unwind so a half-written buffer can never leak into
+//! a later response. Shutdown drains: admission closes first (stragglers
+//! get [`Status::ShuttingDown`]), the batcher answers everything already
+//! admitted, then the threads join. All of it is exercised
+//! deterministically by the seeded [`FaultPlan`](crate::FaultPlan)
+//! wired through [`ServerConfig::faults`] and soaked in
+//! `tests/chaos.rs`.
 
 use crate::error::ServerError;
+use crate::faults::{FaultPlan, FaultyRead, FaultyWrite, ServeFaults};
 use crate::frame::{decode_request, encode_response, read_frame, FrameError, Response, Status};
 use crate::queue::{AdmissionQueue, AdmitError};
 use crate::registry::ModelRegistry;
 use dfr_linalg::Matrix;
 use dfr_serve::{BatchPlan, ServeSession, ServeSessionBuilder};
 use std::collections::HashMap;
-use std::io::BufWriter;
+use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
@@ -53,6 +73,16 @@ pub struct ServerConfig {
     /// Pool width pinned onto the serving sessions (`None` inherits the
     /// ambient `dfr_pool` sizing — `DFR_THREADS`, then available cores).
     pub threads: Option<usize>,
+    /// Per-connection read/write timeout: a connection that stays silent
+    /// (or refuses to drain its responses) for this long is reaped —
+    /// disconnected and counted — so slow-loris clients can never pin a
+    /// reader thread or leak. Default 30 s.
+    pub idle_timeout: Duration,
+    /// Deterministic fault injection (see [`crate::faults`]). The
+    /// default is [`FaultPlan::from_env`]: no faults unless the
+    /// `DFR_FAULTS` env knob is set, in which case the *same shipping
+    /// binary* runs under injected chaos.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -63,21 +93,33 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             max_frame_body: crate::frame::DEFAULT_MAX_BODY,
             threads: None,
+            idle_timeout: Duration::from_secs(30),
+            faults: FaultPlan::from_env(),
         }
     }
 }
 
-/// Monotonic serving counters (relaxed atomics — informational).
+/// Monotonic serving counters (relaxed atomics — informational), plus
+/// the `active_connections` gauge.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     connections: AtomicU64,
+    active_connections: AtomicU64,
     admitted: AtomicU64,
     rejected_busy: AtomicU64,
     malformed: AtomicU64,
+    frames_truncated: AtomicU64,
+    frames_oversized: AtomicU64,
+    timeouts: AtomicU64,
+    reaped: AtomicU64,
+    io_errors: AtomicU64,
     unknown_digest: AtomicU64,
     batches: AtomicU64,
     served: AtomicU64,
     predict_failures: AtomicU64,
+    panics_caught: AtomicU64,
+    quarantined: AtomicU64,
+    shutdown_rejected: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -85,12 +127,28 @@ pub struct ServerStats {
 pub struct StatsSnapshot {
     /// Connections accepted.
     pub connections: u64,
+    /// Connections currently open (gauge; 0 after a clean shutdown once
+    /// every connection thread has unwound).
+    pub active_connections: u64,
     /// Requests admitted into the queue.
     pub admitted: u64,
     /// Requests rejected with `Busy` (queue full).
     pub rejected_busy: u64,
-    /// Frames or requests that failed to decode.
+    /// Bodies that framed correctly but failed to decode (answered
+    /// `Malformed`, connection kept).
     pub malformed: u64,
+    /// Frames cut off mid-body by a disconnect (connection dropped).
+    pub frames_truncated: u64,
+    /// Frames whose declared length exceeded the cap (answered
+    /// `Malformed`, connection dropped — the stream is desynced).
+    pub frames_oversized: u64,
+    /// Read/write timeout events (idle, slow-loris, or unread responses).
+    pub timeouts: u64,
+    /// Connections closed by the idle reaper (at most once per
+    /// connection, however many of its halves timed out).
+    pub reaped: u64,
+    /// Connections dropped on a non-timeout socket error.
+    pub io_errors: u64,
     /// Requests pinning an unregistered digest.
     pub unknown_digest: u64,
     /// Batches the coalescer served.
@@ -99,20 +157,46 @@ pub struct StatsSnapshot {
     pub served: u64,
     /// Requests answered `PredictFailed`.
     pub predict_failures: u64,
+    /// Panics caught by the batcher's isolation (batch- or sample-level).
+    pub panics_caught: u64,
+    /// Samples quarantined with a typed `Internal` rejection after their
+    /// per-sample serve panicked.
+    pub quarantined: u64,
+    /// Requests answered `ShuttingDown` during the drain.
+    pub shutdown_rejected: u64,
 }
 
 impl ServerStats {
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            frames_truncated: self.frames_truncated.load(Ordering::Relaxed),
+            frames_oversized: self.frames_oversized.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
             unknown_digest: self.unknown_digest.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             predict_failures: self.predict_failures.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            shutdown_rejected: self.shutdown_rejected.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl StatsSnapshot {
+    /// Requests answered with a terminal response: the batcher's
+    /// admission ledger must balance —
+    /// `admitted == served + predict_failures + quarantined + unknown_digest`
+    /// once the queue has drained. The chaos soak asserts this.
+    pub fn answered(&self) -> u64 {
+        self.served + self.predict_failures + self.quarantined + self.unknown_digest
     }
 }
 
@@ -204,8 +288,16 @@ impl Server {
         self.stats.snapshot()
     }
 
-    /// Stops admitting, drains the queue, and joins the accept and
-    /// batcher threads. Idempotent; also runs on drop.
+    /// Graceful drain: stops admitting (stragglers are answered
+    /// [`Status::ShuttingDown`]), lets the batcher answer everything
+    /// already admitted, and joins the accept and batcher threads.
+    /// Idempotent; also runs on drop.
+    ///
+    /// Connection threads exit on their own — on client EOF, on the
+    /// `ShuttingDown` rejection path, or at the idle timeout at the
+    /// latest — and the [`StatsSnapshot::active_connections`] gauge
+    /// reaching 0 is the observable "no leaked threads" signal the chaos
+    /// soak asserts.
     pub fn shutdown(&mut self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
@@ -241,50 +333,86 @@ fn accept_loop(
             break; // the waking connection (or any racer) is dropped
         }
         let Ok(stream) = stream else { continue };
-        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = stats.connections.fetch_add(1, Ordering::Relaxed);
         let queue = Arc::clone(&queue);
         let stats = Arc::clone(&stats);
         let config = config.clone();
-        // Detached: exits on client EOF, socket error, or queue close.
+        // Detached: exits on client EOF, socket error, timeout reap, or
+        // queue close — the idle timeout bounds how long it can linger.
         let _ = thread::Builder::new()
             .name("dfr-server-conn".into())
-            .spawn(move || connection_loop(stream, queue, stats, config));
+            .spawn(move || connection_loop(stream, conn_id, queue, stats, config));
     }
 }
 
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads frames off one connection, admits requests, and spawns the
-/// paired writer draining pre-encoded response frames.
+/// paired writer draining pre-encoded response frames. Both halves carry
+/// the idle timeout; either half timing out reaps the connection (once).
 fn connection_loop(
     stream: TcpStream,
+    conn_id: u64,
     queue: Arc<AdmissionQueue<Job>>,
     stats: Arc<ServerStats>,
     config: ServerConfig,
 ) {
+    stats.active_connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
+    // One deadline for both halves: reads reap slow-loris senders, writes
+    // reap clients that never drain their responses.
+    let _ = stream.set_read_timeout(Some(config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(config.idle_timeout));
+    let reaped = Arc::new(AtomicBool::new(false));
+
+    let writer = match stream.try_clone() {
+        Ok(write_half) => {
+            let stats = Arc::clone(&stats);
+            let reaped = Arc::clone(&reaped);
+            let faults = config.faults.io_faults(conn_id, 1);
+            let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+            let handle = thread::Builder::new()
+                .name("dfr-server-conn-writer".into())
+                .spawn(move || {
+                    let mut w = BufWriter::new(FaultyWrite::new(write_half, faults));
+                    // Frames already carry their length prefix; write
+                    // whole frames directly.
+                    while let Ok(frame) = reply_rx.recv() {
+                        use std::io::Write;
+                        if let Err(e) = w.write_all(&frame).and_then(|()| w.flush()) {
+                            if is_timeout(&e) {
+                                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                                reaped.store(true, Ordering::Relaxed);
+                            } else {
+                                stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break; // client gone or unresponsive
+                        }
+                    }
+                });
+            match handle {
+                Ok(h) => Some((h, reply_tx)),
+                Err(_) => None,
+            }
+        }
+        Err(_) => None,
+    };
+    let Some((writer, reply_tx)) = writer else {
+        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
-    let writer = thread::Builder::new()
-        .name("dfr-server-conn-writer".into())
-        .spawn(move || {
-            let mut w = BufWriter::new(write_half);
-            // Frames already carry their length prefix; write_frame is
-            // for bodies, so write whole frames directly.
-            while let Ok(frame) = reply_rx.recv() {
-                use std::io::Write;
-                if w.write_all(&frame).and_then(|()| w.flush()).is_err() {
-                    break; // client gone; drain nothing further
-                }
-            }
-        });
 
-    let mut read_half = &stream;
+    let mut reader = FaultyRead::new(&stream, config.faults.io_faults(conn_id, 0));
     let mut buf = Vec::new();
     let mut scratch = Vec::new();
     let retry_hint_ms = (config.batch_deadline.as_millis() as u32).max(1);
     loop {
-        match read_frame(&mut read_half, &mut buf, config.max_frame_body) {
+        match read_frame(&mut reader, &mut buf, config.max_frame_body) {
             Ok(None) => break, // clean EOF
             Ok(Some(body)) => match decode_request(body) {
                 Ok(req) => {
@@ -303,9 +431,12 @@ fn connection_loop(
                             let resp =
                                 Response::reject(job.request_id, Status::Busy, retry_hint_ms);
                             encode_response(&resp, &mut scratch);
-                            let _ = job.reply.send(scratch.clone());
+                            if job.reply.send(scratch.clone()).is_err() {
+                                break; // writer died; nothing can be answered
+                            }
                         }
                         Err((job, AdmitError::Closed)) => {
+                            stats.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
                             let resp = Response::reject(job.request_id, Status::ShuttingDown, 0);
                             encode_response(&resp, &mut scratch);
                             let _ = job.reply.send(scratch.clone());
@@ -319,28 +450,49 @@ fn connection_loop(
                     stats.malformed.fetch_add(1, Ordering::Relaxed);
                     let resp = Response::reject(0, Status::Malformed, 0);
                     encode_response(&resp, &mut scratch);
-                    let _ = reply_tx.send(scratch.clone());
+                    if reply_tx.send(scratch.clone()).is_err() {
+                        break;
+                    }
                 }
             },
             Err(FrameError::Oversized { .. }) => {
                 // The body was never consumed — the stream is desynced.
                 // Best-effort rejection, then close.
+                stats.frames_oversized.fetch_add(1, Ordering::Relaxed);
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::reject(0, Status::Malformed, 0);
                 encode_response(&resp, &mut scratch);
                 let _ = reply_tx.send(scratch.clone());
                 break;
             }
-            Err(_) => break, // truncated mid-frame or socket error
+            Err(FrameError::TruncatedFrame { .. }) => {
+                // The peer vanished mid-frame; nothing to answer.
+                stats.frames_truncated.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(FrameError::Io(e)) if is_timeout(&e) => {
+                // The idle reaper: a silent or slow-loris connection is
+                // disconnected instead of pinning this thread forever.
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                reaped.store(true, Ordering::Relaxed);
+                break;
+            }
+            Err(FrameError::Io(_)) => {
+                stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break, // decode-layer errors cannot reach here
         }
     }
     // Dropping the last sender ends the writer once in-flight responses
     // (still referenced by queued Jobs) are answered and dropped.
     drop(reply_tx);
     let _ = stream.shutdown(std::net::Shutdown::Read);
-    if let Ok(w) = writer {
-        let _ = w.join();
+    let _ = writer.join();
+    if reaped.load(Ordering::Relaxed) {
+        stats.reaped.fetch_add(1, Ordering::Relaxed);
     }
+    stats.active_connections.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Drains the admission queue with the deadline coalescer and serves
@@ -354,6 +506,7 @@ fn batcher_loop(
     let mut sessions: HashMap<u64, ServeSession> = HashMap::new();
     let mut batch: Vec<Job> = Vec::new();
     let mut frame = Vec::new();
+    let mut faults = config.faults.serve_faults();
     while queue.fill_batch(&mut batch, config.max_batch, config.batch_deadline) {
         stats.batches.fetch_add(1, Ordering::Relaxed);
         // One registry read per batch: a publish() lands exactly on a
@@ -409,7 +562,7 @@ fn batcher_loop(
                 }
                 b.build()
             });
-            serve_group(session, &jobs, &stats, &mut frame);
+            serve_group(session, &jobs, &stats, &mut frame, &mut faults);
         }
 
         // Sessions for retired digests hold the last Arc to their model;
@@ -418,46 +571,90 @@ fn batcher_loop(
     }
 }
 
-/// Serves one digest-homogeneous group and replies to every job.
-fn serve_group(session: &mut ServeSession, jobs: &[Job], stats: &ServerStats, frame: &mut Vec<u8>) {
+/// Serves one digest-homogeneous group and replies to every job, with
+/// panic isolation at both levels:
+///
+/// * the **batched** serve runs under `catch_unwind` — an unwind (or an
+///   ordinary per-sample error) falls back to per-sample serving, after
+///   resetting the session's workspaces so a half-written buffer can
+///   never surface in a later response;
+/// * each **per-sample** serve runs under its own `catch_unwind` — a
+///   panicking sample is quarantined with a typed [`Status::Internal`]
+///   rejection while every other sample still gets its bitwise-correct
+///   answer.
+///
+/// Replies are sent only *after* a serve succeeds, so an unwind can
+/// never leave a client double-answered or half-answered.
+fn serve_group(
+    session: &mut ServeSession,
+    jobs: &[Job],
+    stats: &ServerStats,
+    frame: &mut Vec<u8>,
+    faults: &mut Option<ServeFaults>,
+) {
     let series: Vec<Matrix> = jobs.iter().map(|j| j.series.clone()).collect();
-    match session.predict_batch(&series) {
-        Ok(result) => {
-            for (i, job) in jobs.iter().enumerate() {
+    let batched = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(f) = faults.as_mut() {
+            f.maybe_panic_batch();
+        }
+        session.predict_batch(&series).map(|result| {
+            let probs: Vec<Vec<f64>> = (0..result.len())
+                .map(|i| result.probabilities_of(i).to_vec())
+                .collect();
+            (result.predictions().to_vec(), probs, result.digest())
+        })
+    }));
+    match batched {
+        Ok(Ok((predictions, probabilities, digest))) => {
+            for ((job, class), probs) in jobs.iter().zip(predictions).zip(probabilities) {
                 stats.served.fetch_add(1, Ordering::Relaxed);
-                let resp = Response::ok(
-                    job.request_id,
-                    result.digest(),
-                    result.predictions()[i],
-                    result.probabilities_of(i).to_vec(),
-                );
+                let resp = Response::ok(job.request_id, digest, class, probs);
                 encode_response(&resp, frame);
                 let _ = job.reply.send(frame.clone());
             }
+            return;
         }
+        // At least one sample is bad; isolate it below so healthy
+        // requests still get answers.
+        Ok(Err(_)) => {}
         Err(_) => {
-            // At least one sample is bad; isolate it by serving the
-            // group per-sample so healthy requests still get answers.
-            for job in jobs {
-                match session.predict_one(&job.series) {
-                    Ok(pred) => {
-                        stats.served.fetch_add(1, Ordering::Relaxed);
-                        let resp = Response::ok(
-                            job.request_id,
-                            pred.digest(),
-                            pred.class(),
-                            pred.probabilities().to_vec(),
-                        );
-                        encode_response(&resp, frame);
-                        let _ = job.reply.send(frame.clone());
-                    }
-                    Err(_) => {
-                        stats.predict_failures.fetch_add(1, Ordering::Relaxed);
-                        let resp = Response::reject(job.request_id, Status::PredictFailed, 0);
-                        encode_response(&resp, frame);
-                        let _ = job.reply.send(frame.clone());
-                    }
-                }
+            // A panic mid-batch: the session's buffers may be
+            // half-written — rebuild them before trusting any result.
+            stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            session.reset();
+        }
+    }
+    for job in jobs {
+        let one = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = faults.as_mut() {
+                f.maybe_panic_sample();
+            }
+            session
+                .predict_one(&job.series)
+                .map(|p| (p.class(), p.probabilities().to_vec(), p.digest()))
+        }));
+        match one {
+            Ok(Ok((class, probs, digest))) => {
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::ok(job.request_id, digest, class, probs);
+                encode_response(&resp, frame);
+                let _ = job.reply.send(frame.clone());
+            }
+            Ok(Err(_)) => {
+                stats.predict_failures.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::reject(job.request_id, Status::PredictFailed, 0);
+                encode_response(&resp, frame);
+                let _ = job.reply.send(frame.clone());
+            }
+            Err(_) => {
+                // Quarantine: this sample's serve unwound — typed
+                // Internal rejection, fresh workspaces, next sample.
+                stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                session.reset();
+                let resp = Response::reject(job.request_id, Status::Internal, 0);
+                encode_response(&resp, frame);
+                let _ = job.reply.send(frame.clone());
             }
         }
     }

@@ -1,0 +1,629 @@
+//! Chaos suite: the serving stack under deterministic, seeded fault
+//! injection — torn reads, slow-drip writes, mid-frame disconnects,
+//! scheduled panics in the batcher — plus racing hot-swaps and the
+//! crash-safe model store.
+//!
+//! The contract being soaked is the repo's core one: **every accepted
+//! request is answered bitwise-identical to a direct in-process
+//! `predict`, or rejected with a typed status** — under any injected
+//! fault, with no hang (a watchdog hard-exits past the deadline) and no
+//! leaked connection threads (the `active_connections` gauge must drain
+//! to zero).
+//!
+//! Set `DFR_CHAOS_STATS=/path/out.json` to dump the aggregate soak
+//! counters (CI uploads them as an artifact).
+
+use dfr_core::DfrClassifier;
+use dfr_linalg::Matrix;
+use dfr_serve::{FrozenModel, ServeSession};
+use dfr_server::{
+    Client, FaultPlan, FaultSpec, ModelRegistry, RetryPolicy, Server, ServerConfig, ServerError,
+    Status, INJECTED_PANIC,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::time::{Duration, Instant};
+
+/// Injected panics unwind through the batcher by design; without this
+/// filter every one of them spams the default hook's backtrace banner
+/// over the test output. Real (non-injected) panics still print.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(INJECTED_PANIC))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains(INJECTED_PANIC))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn model(tweak: f64, seed: u64) -> DfrClassifier {
+    let mut m = DfrClassifier::paper_default(6, 2, 3, seed).unwrap();
+    m.reservoir_mut().set_params(0.06, 0.15).unwrap();
+    for j in 0..m.feature_dim() {
+        for k in 0..3 {
+            m.w_out_mut()[(k, j)] = tweak * (((j * 5 + k * 3 + 1) % 17) as f64 - 8.0);
+        }
+    }
+    m
+}
+
+fn series_for(i: usize) -> Matrix {
+    let t = 2 + (i * 7) % 19;
+    Matrix::from_vec(
+        t,
+        2,
+        (0..t * 2)
+            .map(|k| (((k * 11 + i * 13) % 31) as f64 * 0.21 - 3.0).sin())
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A model's expected (class, probability bits) per series.
+type Oracle = Vec<(usize, Vec<u64>)>;
+
+/// (class, probability bits) per series through a direct in-process
+/// session — the ground truth every network `Ok` must equal, keyed by
+/// the digest the response claims served it.
+fn oracle(frozen: &FrozenModel, series: &[Matrix]) -> Oracle {
+    let mut session = ServeSession::builder(frozen.clone()).build();
+    let result = session.predict_batch(series).unwrap();
+    (0..series.len())
+        .map(|i| {
+            (
+                result.predictions()[i],
+                result
+                    .probabilities_of(i)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn start(frozen: FrozenModel, config: ServerConfig) -> Server {
+    let registry = Arc::new(ModelRegistry::new(frozen));
+    Server::bind("127.0.0.1:0", registry, config).unwrap()
+}
+
+/// Arms a hard deadline for the calling test: if the returned guard is
+/// still alive when the deadline passes, the whole process exits — a
+/// hang is a failure, never a stuck CI job.
+struct Watchdog {
+    _disarm: mpsc::Sender<()>,
+}
+
+fn watchdog(label: &'static str, deadline: Duration) -> Watchdog {
+    let (tx, rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        // Dropping the guard disconnects the channel and disarms; only a
+        // genuine timeout (the test still running) aborts the process.
+        if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(deadline) {
+            eprintln!("watchdog: {label} exceeded {deadline:?} — aborting");
+            std::process::exit(101);
+        }
+    });
+    Watchdog { _disarm: tx }
+}
+
+/// With every batch serve scheduled to panic (`panic_batch = 1.0`) and
+/// per-sample serving clean, the fallback path must still answer every
+/// request bitwise-correctly — a batcher panic is invisible to clients
+/// except in the counters.
+#[test]
+fn batch_panics_fall_back_to_bitwise_correct_per_sample_service() {
+    quiet_injected_panics();
+    let _wd = watchdog("batch panic fallback", Duration::from_secs(60));
+    let frozen = model_frozen(0.02, 17);
+    let series: Vec<Matrix> = (0..12).map(series_for).collect();
+    let expected = oracle(&frozen, &series);
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            batch_deadline: Duration::from_millis(1),
+            faults: FaultPlan::seeded(
+                7,
+                FaultSpec {
+                    panic_batch: 1.0,
+                    ..FaultSpec::quiet()
+                },
+            ),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for (i, s) in series.iter().enumerate() {
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.class, expected[i].0, "series {i} class");
+        let bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, expected[i].1, "series {i} probabilities");
+    }
+    let stats = server.stats();
+    assert!(
+        stats.panics_caught >= series.len() as u64,
+        "every batch serve panicked and must be counted: {stats:?}"
+    );
+    assert_eq!(stats.served, series.len() as u64);
+    assert_eq!(stats.quarantined, 0);
+    server.shutdown();
+}
+
+/// With batch *and* per-sample serves scheduled to panic, every request
+/// is quarantined with the typed `Internal` status — and the server
+/// survives to answer the next connection.
+#[test]
+fn sample_panics_are_quarantined_with_typed_internal_rejections() {
+    quiet_injected_panics();
+    let _wd = watchdog("sample quarantine", Duration::from_secs(60));
+    let frozen = model_frozen(0.02, 17);
+    let series: Vec<Matrix> = (0..8).map(series_for).collect();
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            batch_deadline: Duration::from_millis(1),
+            faults: FaultPlan::seeded(
+                11,
+                FaultSpec {
+                    panic_batch: 1.0,
+                    panic_sample: 1.0,
+                    ..FaultSpec::quiet()
+                },
+            ),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for s in &series {
+        match client.predict(s) {
+            Err(ServerError::Rejected {
+                status: Status::Internal,
+                ..
+            }) => {}
+            other => panic!("poisoned sample must be a typed Internal rejection, got {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.quarantined, series.len() as u64, "{stats:?}");
+    assert_eq!(stats.served, 0);
+    // Every request cost one batch-level panic plus one sample-level
+    // panic; coalescing can only merge batches, never drop a sample.
+    assert!(stats.panics_caught > series.len() as u64, "{stats:?}");
+    // The batcher is still alive: a fresh connection still gets answers
+    // (typed ones, under this all-panic plan).
+    let mut second = Client::connect(server.local_addr()).unwrap();
+    second
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert!(matches!(
+        second.predict(&series[0]),
+        Err(ServerError::Rejected {
+            status: Status::Internal,
+            ..
+        })
+    ));
+    server.shutdown();
+}
+
+/// Torn reads, delayed reads and slow-drip writes on every single
+/// syscall must never change a byte — only latency. The strongest
+/// deterministic form of the bit-identity-under-faults contract.
+#[test]
+fn torn_and_slow_io_preserves_bit_identity() {
+    quiet_injected_panics();
+    let _wd = watchdog("torn io", Duration::from_secs(120));
+    let frozen = model_frozen(0.03, 23);
+    let series: Vec<Matrix> = (0..6).map(series_for).collect();
+    let expected = oracle(&frozen, &series);
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            batch_deadline: Duration::from_millis(1),
+            idle_timeout: Duration::from_secs(20),
+            faults: FaultPlan::seeded(
+                3,
+                FaultSpec {
+                    torn_read: 1.0,
+                    slow_write: 1.0,
+                    read_delay: 0.5,
+                    read_delay_us: 100,
+                    write_delay_us: 50,
+                    ..FaultSpec::quiet()
+                },
+            ),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for (i, s) in series.iter().enumerate() {
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.class, expected[i].0, "series {i} class");
+        let bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, expected[i].1, "series {i} probabilities");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served, series.len() as u64);
+    assert_eq!(
+        stats.malformed + stats.frames_truncated + stats.frames_oversized,
+        0
+    );
+    server.shutdown();
+}
+
+/// The idle reaper: a slow-loris connection (two bytes, then silence)
+/// is disconnected at the idle timeout instead of pinning a reader
+/// thread forever, and the reap is counted.
+#[test]
+fn slow_loris_connections_are_reaped() {
+    quiet_injected_panics();
+    let _wd = watchdog("slow loris", Duration::from_secs(60));
+    let frozen = model_frozen(0.02, 17);
+    let idle = Duration::from_millis(150);
+    let mut server = start(
+        frozen,
+        ServerConfig {
+            idle_timeout: idle,
+            ..ServerConfig::default()
+        },
+    );
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(8 * idle)).unwrap();
+    // Two bytes of a length prefix, then nothing: a classic slow loris.
+    raw.write_all(&[0x10, 0x00]).unwrap();
+    let start_t = Instant::now();
+    let mut sink = [0u8; 16];
+    // The server must close the socket (EOF or reset) within a few
+    // timeout periods — not leave us readable-blocked forever.
+    let closed = loop {
+        match raw.read(&mut sink) {
+            Ok(0) => break true,
+            Ok(_) => continue,
+            Err(_) => break start_t.elapsed() <= 8 * idle,
+        }
+    };
+    assert!(closed, "slow-loris connection was not reaped");
+    // The counters see it (poll: the connection thread finishes just
+    // after the socket close we observed).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        if stats.timeouts >= 1 && stats.reaped >= 1 && stats.active_connections == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "reap not counted: {stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// persist → kill → reload: the store round-trips every model crash-
+/// safely, restores the active head digest-verified, and a server
+/// rebuilt from the reloaded registry answers bitwise identically.
+#[test]
+fn model_store_survives_kill_and_reload_bitwise() {
+    quiet_injected_panics();
+    let _wd = watchdog("model store", Duration::from_secs(60));
+    let frozen_a = model_frozen(0.02, 17);
+    let frozen_b = model_frozen(0.05, 29);
+    let (da, db) = (frozen_a.content_digest(), frozen_b.content_digest());
+    let series: Vec<Matrix> = (0..8).map(series_for).collect();
+    let expected_b = oracle(&frozen_b, &series);
+
+    let dir = std::env::temp_dir().join(format!("dfr-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // "Crash" mid-flight: persist while a server is live, then drop the
+    // whole process state (server + registry) without any further
+    // cooperation from it.
+    {
+        let registry = Arc::new(ModelRegistry::new(frozen_a));
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        registry.publish(frozen_b);
+        let report = registry.persist_to(&dir).unwrap();
+        assert_eq!(report.active, db);
+        assert_eq!(report.digests.len(), 2);
+        server.shutdown();
+    }
+
+    let (loaded, report) = ModelRegistry::load_from(&dir).unwrap();
+    assert_eq!(report.active, db, "active head must be restored");
+    assert!(!report.active_fallback);
+    assert!(report.skipped.is_empty());
+    assert!(loaded.contains(da) && loaded.contains(db));
+
+    let mut server =
+        Server::bind("127.0.0.1:0", Arc::new(loaded), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for (i, s) in series.iter().enumerate() {
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.digest, db, "restored active model must serve");
+        assert_eq!(got.class, expected_b[i].0);
+        let bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, expected_b[i].1, "series {i} bitwise after reload");
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn model_frozen(tweak: f64, seed: u64) -> FrozenModel {
+    FrozenModel::freeze(&model(tweak, seed))
+}
+
+/// Aggregate counters across all soak seeds, for the stats artifact and
+/// the cross-seed assertions.
+#[derive(Debug, Default)]
+struct SoakTotals {
+    requests_ok: u64,
+    requests_rejected: u64,
+    reconnects: u64,
+    served: u64,
+    panics_caught: u64,
+    quarantined: u64,
+    timeouts: u64,
+    io_errors: u64,
+    frames_truncated: u64,
+    busy_retries: u64,
+    batches: u64,
+}
+
+/// The capstone soak: for each fixed seed, a loopback server under the
+/// full chaos fault plan × 3 concurrent retrying clients × a racing
+/// hot-swap thread. Every `Ok` response is verified bitwise against the
+/// direct-predict oracle of the model its digest names; every failure
+/// must be a typed rejection or a transport error (reconnect and carry
+/// on); afterwards the admission ledger must balance and every
+/// connection thread must be gone.
+#[test]
+fn chaos_soak_across_seeds() {
+    quiet_injected_panics();
+    let _wd = watchdog("chaos soak", Duration::from_secs(240));
+    const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+    const CLIENTS: usize = 3;
+    const REQUESTS_PER_CLIENT: usize = 40;
+
+    let frozen_a = model_frozen(0.02, 17);
+    let frozen_b = model_frozen(0.05, 29);
+    let (da, db) = (frozen_a.content_digest(), frozen_b.content_digest());
+    assert_ne!(da, db);
+    let series: Arc<Vec<Matrix>> = Arc::new((0..24).map(series_for).collect());
+    let oracles: Arc<HashMap<u64, Oracle>> = Arc::new(HashMap::from([
+        (da, oracle(&frozen_a, &series)),
+        (db, oracle(&frozen_b, &series)),
+    ]));
+
+    let mut totals = SoakTotals::default();
+    for seed in SEEDS {
+        let registry = Arc::new(ModelRegistry::new(frozen_a.clone()));
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig {
+                queue_capacity: 32,
+                max_batch: 8,
+                batch_deadline: Duration::from_millis(1),
+                idle_timeout: Duration::from_millis(500),
+                faults: FaultPlan::seeded(seed, FaultSpec::chaos()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Hot-swaps racing the traffic: the active model flips A↔B while
+        // every client streams. Both stay registered, so every response
+        // digest has an oracle.
+        let swapper = {
+            let registry = Arc::clone(&registry);
+            let frozen_b = frozen_b.clone();
+            std::thread::spawn(move || {
+                for round in 0..12 {
+                    std::thread::sleep(Duration::from_millis(2));
+                    if round % 2 == 0 {
+                        registry.publish(frozen_b.clone());
+                    } else {
+                        registry.activate(da).unwrap();
+                    }
+                }
+            })
+        };
+
+        let ok_count = Arc::new(AtomicU64::new(0));
+        let rejected_count = Arc::new(AtomicU64::new(0));
+        let reconnect_count = Arc::new(AtomicU64::new(0));
+        let busy_retry_count = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|w| {
+                let series = Arc::clone(&series);
+                let oracles = Arc::clone(&oracles);
+                let ok_count = Arc::clone(&ok_count);
+                let rejected_count = Arc::clone(&rejected_count);
+                let reconnect_count = Arc::clone(&reconnect_count);
+                let busy_retry_count = Arc::clone(&busy_retry_count);
+                std::thread::spawn(move || {
+                    let connect = || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        c.set_io_timeout(Some(Duration::from_secs(5))).unwrap();
+                        c
+                    };
+                    let mut client = connect();
+                    let policy = RetryPolicy {
+                        max_attempts: 6,
+                        seed: seed ^ ((w as u64) << 32),
+                        ..RetryPolicy::default()
+                    };
+                    let mut transport_failures = 0u32;
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let i = (w * 17 + r) % series.len();
+                        loop {
+                            match client.call_with_retry(&series[i], 0, &policy) {
+                                Ok((got, retries)) => {
+                                    busy_retry_count
+                                        .fetch_add(u64::from(retries), Ordering::Relaxed);
+                                    let (class, bits) =
+                                        &oracles.get(&got.digest).unwrap_or_else(|| {
+                                            panic!("unknown serving digest {:#x}", got.digest)
+                                        })[i];
+                                    assert_eq!(got.class, *class, "client {w} series {i}");
+                                    let got_bits: Vec<u64> =
+                                        got.probabilities.iter().map(|p| p.to_bits()).collect();
+                                    assert_eq!(
+                                        &got_bits, bits,
+                                        "client {w} series {i}: bit-identity violated under faults"
+                                    );
+                                    ok_count.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(ServerError::Rejected { .. }) => {
+                                    // Typed rejection (Busy exhausted,
+                                    // Internal quarantine, …): the
+                                    // contract is satisfied — a clear
+                                    // answer, not silence or garbage.
+                                    rejected_count.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(_) => {
+                                    // Transport fault (injected torn
+                                    // frame, disconnect, timeout):
+                                    // reconnect and retry this request.
+                                    transport_failures += 1;
+                                    assert!(
+                                        transport_failures < 500,
+                                        "client {w} cannot make progress through the fault plan"
+                                    );
+                                    reconnect_count.fetch_add(1, Ordering::Relaxed);
+                                    client = connect();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for wkr in workers {
+            wkr.join().expect("soak client");
+        }
+        swapper.join().unwrap();
+        server.shutdown();
+
+        // No leaked connection threads: the gauge must drain to zero
+        // (reader threads exit at the idle timeout at the latest).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stats = loop {
+            let stats = server.stats();
+            if stats.active_connections == 0 {
+                break stats;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "seed {seed}: leaked connections: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        // The admission ledger balances: everything admitted was
+        // answered with exactly one terminal response.
+        assert_eq!(
+            stats.admitted,
+            stats.answered(),
+            "seed {seed}: admitted requests must all be answered: {stats:?}"
+        );
+        // And the client-observed Ok count can only exceed the server's
+        // served count if a response was fabricated — never.
+        assert!(
+            ok_count.load(Ordering::Relaxed) <= stats.served,
+            "seed {seed}: more Ok responses than serves"
+        );
+
+        totals.requests_ok += ok_count.load(Ordering::Relaxed);
+        totals.requests_rejected += rejected_count.load(Ordering::Relaxed);
+        totals.reconnects += reconnect_count.load(Ordering::Relaxed);
+        totals.busy_retries += busy_retry_count.load(Ordering::Relaxed);
+        totals.served += stats.served;
+        totals.panics_caught += stats.panics_caught;
+        totals.quarantined += stats.quarantined;
+        totals.timeouts += stats.timeouts;
+        totals.io_errors += stats.io_errors;
+        totals.frames_truncated += stats.frames_truncated;
+        totals.batches += stats.batches;
+    }
+
+    // Cross-seed: the chaos plan must actually have bitten — panics
+    // caught and quarantines recorded by the isolation layer, transport
+    // faults absorbed by reconnects — while most traffic still succeeded.
+    assert!(
+        totals.requests_ok > 0,
+        "no request ever succeeded: {totals:?}"
+    );
+    assert!(
+        totals.panics_caught > 0,
+        "chaos plan never fired a panic: {totals:?}"
+    );
+    assert!(
+        totals.quarantined > 0,
+        "chaos plan never quarantined a sample: {totals:?}"
+    );
+    assert!(
+        totals.reconnects + totals.frames_truncated + totals.io_errors + totals.timeouts > 0,
+        "chaos plan never faulted the transport: {totals:?}"
+    );
+
+    if let Ok(path) = std::env::var("DFR_CHAOS_STATS") {
+        let json = format!(
+            "{{\n  \"seeds\": {},\n  \"clients_per_seed\": {},\n  \"requests_per_client\": {},\n  \
+             \"requests_ok\": {},\n  \"requests_rejected\": {},\n  \"reconnects\": {},\n  \
+             \"busy_retries\": {},\n  \"served\": {},\n  \"batches\": {},\n  \
+             \"panics_caught\": {},\n  \"quarantined\": {},\n  \"timeouts\": {},\n  \
+             \"io_errors\": {},\n  \"frames_truncated\": {}\n}}\n",
+            SEEDS.len(),
+            CLIENTS,
+            REQUESTS_PER_CLIENT,
+            totals.requests_ok,
+            totals.requests_rejected,
+            totals.reconnects,
+            totals.busy_retries,
+            totals.served,
+            totals.batches,
+            totals.panics_caught,
+            totals.quarantined,
+            totals.timeouts,
+            totals.io_errors,
+            totals.frames_truncated,
+        );
+        std::fs::write(&path, json).expect("write DFR_CHAOS_STATS");
+        eprintln!("chaos soak stats written to {path}");
+    }
+    eprintln!("chaos soak totals: {totals:?}");
+}

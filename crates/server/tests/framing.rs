@@ -55,7 +55,7 @@ proptest! {
     fn responses_round_trip_bitwise(
         request_id in 0u64..u64::MAX,
         digest in 0u64..u64::MAX,
-        status_code in 0u32..6,
+        status_code in 0u32..7,
         retry in 0u32..100_000,
         classes in 0usize..12,
         seed in 0u64..1000,
@@ -144,6 +144,87 @@ proptest! {
         }
     }
 
+    /// Length prefix and declared shape disagreeing — the shape claims
+    /// more (or fewer) elements than the body carries — is rejected with
+    /// a typed error, never a buffer over-read or a silent short decode.
+    #[test]
+    fn length_shape_disagreement_is_rejected(
+        rows in 1usize..10,
+        cols in 1usize..4,
+        claimed_rows in 0u32..64,
+    ) {
+        let req = Request { request_id: 11, digest_pin: 0, series: series(rows, cols, 2) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        let mut body = frame[4..].to_vec();
+        // Rewrite the declared row count (offset 20: 12-byte header +
+        // 8-byte pin) without touching the payload length.
+        body[20..24].copy_from_slice(&claimed_rows.to_le_bytes());
+        let result = decode_request(&body);
+        if claimed_rows as usize == rows {
+            prop_assert!(result.is_ok(), "honest shape must still decode");
+        } else {
+            prop_assert!(result.is_err(), "shape {} vs {} rows must be rejected", claimed_rows, rows);
+        }
+    }
+
+    /// Version skew: every version byte other than the current protocol
+    /// version is rejected — for requests and responses alike — so an
+    /// old binary can never half-understand a newer frame.
+    #[test]
+    fn version_skew_is_rejected(version in 0u32..256) {
+        let req = Request { request_id: 5, digest_pin: 0, series: series(2, 2, 4) };
+        let mut frame = Vec::new();
+        encode_request(&req, &mut frame);
+        let mut body = frame[4..].to_vec();
+        body[0] = version as u8;
+        prop_assert_eq!(
+            decode_request(&body).is_ok(),
+            version as u8 == dfr_server::PROTOCOL_VERSION,
+            "request version {} must decode iff current", version
+        );
+
+        let resp = Response {
+            request_id: 5,
+            status: Status::Ok,
+            retry_after_ms: 0,
+            digest: 42,
+            class: 0,
+            probabilities: vec![1.0],
+        };
+        encode_response(&resp, &mut frame);
+        let mut body = frame[4..].to_vec();
+        body[0] = version as u8;
+        prop_assert_eq!(
+            decode_response(&body).is_ok(),
+            version as u8 == dfr_server::PROTOCOL_VERSION,
+            "response version {} must decode iff current", version
+        );
+    }
+
+    /// Unknown response status codes are a typed BadStatus, not a panic
+    /// or a misdecoded variant.
+    #[test]
+    fn unknown_status_codes_are_rejected(code in 7u32..u16::MAX as u32) {
+        let resp = Response {
+            request_id: 1,
+            status: Status::Busy,
+            retry_after_ms: 5,
+            digest: 0,
+            class: 0,
+            probabilities: Vec::new(),
+        };
+        let mut frame = Vec::new();
+        encode_response(&resp, &mut frame);
+        let mut body = frame[4..].to_vec();
+        // Status lives right after the 12-byte response header.
+        body[12..14].copy_from_slice(&(code as u16).to_le_bytes());
+        prop_assert!(matches!(
+            decode_response(&body),
+            Err(FrameError::BadStatus { code: c }) if c == code as u16
+        ));
+    }
+
     /// Trailing garbage after a well-formed payload is rejected.
     #[test]
     fn trailing_garbage_is_rejected(extra in 1usize..32) {
@@ -187,6 +268,50 @@ fn back_to_back_frames_stream_cleanly() {
     assert!(read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY)
         .unwrap()
         .is_none());
+}
+
+/// Truncation at every *exact* field boundary of the request layout —
+/// not just random fractions — is rejected: after the version byte, the
+/// kind byte, the reserved u16, the request id, the digest pin, the row
+/// count, the column count, and one full f64. Boundary cuts are the
+/// likeliest real-world torn reads (a peer dying between writes), and
+/// off-by-one decoders pass random-cut tests while failing exactly here.
+#[test]
+fn truncation_at_every_header_boundary_is_rejected() {
+    let req = Request {
+        request_id: 42,
+        digest_pin: 0xfeed,
+        series: series(3, 2, 9),
+    };
+    let mut frame = Vec::new();
+    encode_request(&req, &mut frame);
+    let body = &frame[4..];
+    // version | +kind | +reserved | +request_id | +digest_pin |
+    // +rows | +cols | +first f64
+    for cut in [0usize, 1, 2, 4, 12, 20, 24, 28, 36] {
+        assert!(cut < body.len(), "cut {cut} must be a strict prefix");
+        assert!(
+            decode_request(&body[..cut]).is_err(),
+            "request truncated at byte {cut} must be rejected"
+        );
+    }
+    // The same boundaries seen through the framer: a stream that dies
+    // mid-body is TruncatedFrame, never a hang or partial decode.
+    for cut in [0usize, 1, 2, 4, 12, 20, 24, 28, 36] {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        stream.extend_from_slice(&body[..cut]);
+        let mut r = stream.as_slice();
+        let mut buf = Vec::new();
+        assert!(
+            matches!(
+                read_frame(&mut r, &mut buf, DEFAULT_MAX_BODY),
+                Err(FrameError::TruncatedFrame { expected, found })
+                    if expected == body.len() && found == cut
+            ),
+            "stream dying {cut} bytes into the body must be TruncatedFrame"
+        );
+    }
 }
 
 /// An oversized declared shape (rows × cols beyond the element cap) is

@@ -7,7 +7,7 @@
 use dfr_core::DfrClassifier;
 use dfr_linalg::Matrix;
 use dfr_serve::{FrozenModel, ServeSession};
-use dfr_server::{Client, ModelRegistry, Server, ServerConfig, ServerError, Status};
+use dfr_server::{Client, ModelRegistry, RetryPolicy, Server, ServerConfig, ServerError, Status};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -348,10 +348,15 @@ fn overload_rejects_with_busy_and_a_retry_hint() {
     assert!(hint >= 1, "Busy must carry a retry hint");
     assert_eq!(server.stats().rejected_busy as u32, busy);
 
-    // Backpressure is advisory, not fatal: a retry after the burst
-    // drains goes through.
-    std::thread::sleep(Duration::from_millis(100));
+    // Backpressure is advisory, not fatal: the client-side retry
+    // discipline (jittered backoff honoring the hint) absorbs the
+    // residual congestion and gets an answer without any manual sleep.
     let mut client = Client::connect(addr).unwrap();
-    assert!(client.predict(&s).is_ok());
+    let policy = RetryPolicy {
+        max_attempts: 32,
+        seed: 17,
+        ..RetryPolicy::default()
+    };
+    assert!(client.call_with_retry(&s, 0, &policy).is_ok());
     server.shutdown();
 }
