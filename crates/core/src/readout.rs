@@ -10,7 +10,8 @@
 use crate::CoreError;
 use dfr_linalg::activation::{cross_entropy_from_logits, softmax_in_place};
 use dfr_linalg::ridge::{augment_ones_into, RidgePlan, RidgeScratch};
-use dfr_linalg::{GemmWorkspace, Matrix};
+use dfr_linalg::solver::SolverReport;
+use dfr_linalg::{GemmWorkspace, LinalgError, Matrix};
 
 /// The paper's β candidates.
 pub const PAPER_BETAS: [f64; 4] = [1e-6, 1e-4, 1e-2, 1.0];
@@ -75,18 +76,30 @@ pub struct ReadoutScratch {
     aug: Matrix,
     /// Augmented ridge solution `(p + 1) x q`.
     w_aug: Matrix,
-    /// Ridge-plan buffers (Gram system, Cholesky, packing panels).
+    /// Ridge-plan buffers (Gram system, solver factorisations, packing
+    /// panels).
     ridge: RidgeScratch,
     /// Batched logits of the loss/accuracy passes (`n x q`).
     logits: Matrix,
     /// Packing panels for the batched logits product.
     gemm: GemmWorkspace,
+    /// Per-β solver outcomes of the most recent sweep (capacity reused
+    /// across fits, so the sweep stays allocation-free after warm-up).
+    reports: Vec<SolverReport>,
 }
 
 impl ReadoutScratch {
     /// Empty scratch; every buffer is sized lazily on first use.
     pub fn new() -> Self {
         ReadoutScratch::default()
+    }
+
+    /// One [`SolverReport`] per β candidate of the most recent
+    /// [`fit_readout_with`] sweep, in candidate order — including failed
+    /// candidates (their `error` field carries the reason they were
+    /// skipped), so one bad corner is visible instead of silently absent.
+    pub fn solver_reports(&self) -> &[SolverReport] {
+        &self.reports
     }
 }
 
@@ -120,7 +133,9 @@ pub fn fit_readout_with(
         ridge,
         logits,
         gemm,
+        reports,
     } = ws;
+    reports.clear();
     // Plan-construction failures (shape/emptiness) are β-independent:
     // every candidate would fail with this same error, so fail fast.
     let mut plan =
@@ -129,7 +144,13 @@ pub fn fit_readout_with(
     let mut best: Option<FittedReadout> = None;
     let mut first_err: Option<CoreError> = None;
     for &beta in betas {
-        match try_fit(&mut plan, w_aug, p, features, targets, beta, logits, gemm) {
+        let outcome = try_fit(&mut plan, w_aug, p, features, targets, beta, logits, gemm);
+        // Skip-and-report: the failing candidate's report (solver used,
+        // rcond, terminal error) is kept alongside the winners', so a bad
+        // β corner is visible in the sweep record instead of fatal to it.
+        let mut report = plan.last_report().clone();
+        report.beta = beta;
+        match outcome {
             // A candidate with a non-finite training loss can never be
             // "the smallest loss" — NaN in particular would otherwise
             // survive as an early `best` (NaN never compares `<`).
@@ -144,6 +165,9 @@ pub fn fit_readout_with(
                 }
             }
             Ok(_) => {
+                if report.error.is_none() {
+                    report.error = Some(LinalgError::NonFinite { op: "readout_loss" });
+                }
                 if first_err.is_none() {
                     first_err = Some(CoreError::NumericalFailure {
                         context: "ridge readout loss",
@@ -151,11 +175,18 @@ pub fn fit_readout_with(
                 }
             }
             Err(e) => {
+                if report.error.is_none() {
+                    report.error = Some(match &e {
+                        CoreError::Linalg(le) => le.clone(),
+                        _ => LinalgError::NonFinite { op: "readout_loss" },
+                    });
+                }
                 if first_err.is_none() {
                     first_err = Some(e);
                 }
             }
         }
+        reports.push(report);
     }
     best.ok_or_else(|| {
         first_err.unwrap_or(CoreError::NumericalFailure {
@@ -382,6 +413,65 @@ mod tests {
                 assert_eq!(a.to_bits(), e.to_bits(), "beta {beta}");
             }
         }
+    }
+
+    #[test]
+    fn sweep_surfaces_per_candidate_reports() {
+        let (x, y, _) = separable();
+        let mut ws = ReadoutScratch::new();
+        fit_readout_with(&x, &y, &PAPER_BETAS, &mut ws).unwrap();
+        let reports = ws.solver_reports();
+        assert_eq!(reports.len(), PAPER_BETAS.len());
+        for (r, &beta) in reports.iter().zip(&PAPER_BETAS) {
+            assert_eq!(r.beta, beta);
+            assert!(r.is_ok(), "beta {beta}: {r:?}");
+            assert!(!r.escalated);
+        }
+    }
+
+    #[test]
+    fn failing_candidate_is_skipped_and_reported() {
+        use dfr_linalg::solver::{with_solver, SolverKind, SolverPolicy};
+        // Duplicated feature column: with the intercept column the
+        // augmented Gram is rank 2 of 3 — singular at β = 0.
+        let x = Matrix::from_rows(&[
+            &[2.0, 2.0],
+            &[1.5, 1.5],
+            &[0.0, 0.0],
+            &[-0.3, -0.3],
+            &[1.9, 1.9],
+            &[0.2, 0.2],
+        ])
+        .unwrap();
+        let mut y = Matrix::zeros(6, 2);
+        for (i, l) in [0, 0, 1, 1, 0, 1].iter().enumerate() {
+            y[(i, *l)] = 1.0;
+        }
+        let betas = [0.0, 1e-2];
+        // Escalation disabled: the singular β = 0 candidate fails, is
+        // skipped, and its failure is visible in the sweep record.
+        let mut ws = ReadoutScratch::new();
+        let fit = with_solver(SolverPolicy::Fixed(SolverKind::Cholesky), || {
+            fit_readout_with(&x, &y, &betas, &mut ws)
+        })
+        .unwrap();
+        assert_eq!(fit.beta, 1e-2);
+        let reports = ws.solver_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].error.is_some());
+        assert!(!reports[0].is_ok());
+        assert!(reports[1].is_ok());
+        // Escalation enabled: the same candidate is rescued by the SVD's
+        // minimum-norm solve and the sweep keeps both candidates.
+        let fit = with_solver(SolverPolicy::Auto, || {
+            fit_readout_with(&x, &y, &betas, &mut ws)
+        })
+        .unwrap();
+        assert!(fit.train_loss.is_finite());
+        let reports = ws.solver_reports();
+        assert!(reports[0].is_ok(), "{:?}", reports[0]);
+        assert!(reports[0].escalated);
+        assert_eq!(reports[0].used, Some(SolverKind::Svd));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod degenerate;
 mod error;
 pub mod generator;
 pub mod narma;
@@ -34,6 +35,7 @@ pub mod rng;
 mod spec;
 
 pub use dataset::{Dataset, Sample};
+pub use degenerate::{degenerate_dataset, Degeneracy};
 pub use error::DataError;
 pub use generator::{generate, GeneratorOptions};
 pub use spec::{paper_dataset, paper_dataset_with, DatasetSpec, PaperDataset};

@@ -277,6 +277,95 @@ impl Cholesky {
     pub fn log_det(&self) -> f64 {
         (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Cheap 1-norm reciprocal-condition estimate `1 / (‖A‖₁·est‖A⁻¹‖₁)`
+    /// of the factored matrix — the vetting signal of
+    /// [`crate::solver::SolverPolicy::Auto`].
+    ///
+    /// `anorm` is the 1-norm of the *original* matrix
+    /// ([`Matrix::norm_1`], computed before factoring); `‖A⁻¹‖₁` is
+    /// estimated by a few rounds of Hager's power method on the factor
+    /// (LAPACK `xPOCON` style: each round is one `O(n²)` solve pair,
+    /// negligible next to the `O(n³/3)` factorisation). The inverse-norm
+    /// estimate is a **lower** bound, so the returned rcond is an upper
+    /// bound on the truth: a reading *below* an escalation threshold is
+    /// definitive, a reading above may be optimistic by the estimate's
+    /// slack — the conservative direction for an escalation trigger.
+    ///
+    /// `work` is caller-owned scratch (resized to `dim()`, allocation
+    /// reused across calls — the β-sweep vets once per candidate).
+    /// Returns `0.0` for empty factors or non-finite inputs/intermediates.
+    pub fn rcond_1_est(&self, anorm: f64, work: &mut Vec<f64>) -> f64 {
+        let n = self.dim();
+        if n == 0 || !anorm.is_finite() || anorm <= 0.0 {
+            return 0.0;
+        }
+        work.clear();
+        work.resize(n, 1.0 / n as f64);
+        let mut est = 0.0f64;
+        let mut last_unit = usize::MAX;
+        for _ in 0..5 {
+            // z = A⁻¹ x (solve never fails: the length always matches).
+            if self.solve_vec_in_place(work).is_err() {
+                return 0.0;
+            }
+            let norm: f64 = work.iter().map(|v| v.abs()).sum();
+            if !norm.is_finite() {
+                return 0.0;
+            }
+            if norm <= est {
+                break; // estimate stopped growing — converged
+            }
+            est = norm;
+            // w = A⁻ᵀ sign(z) = A⁻¹ sign(z) (A is symmetric); the largest
+            // component names the next probe direction e_j.
+            for v in work.iter_mut() {
+                *v = if *v >= 0.0 { 1.0 } else { -1.0 };
+            }
+            if self.solve_vec_in_place(work).is_err() {
+                return 0.0;
+            }
+            let mut j = 0;
+            let mut best = -1.0;
+            for (i, v) in work.iter().enumerate() {
+                if v.abs() > best {
+                    best = v.abs();
+                    j = i;
+                }
+            }
+            if j == last_unit {
+                break; // cycling on the same unit vector
+            }
+            last_unit = j;
+            for v in work.iter_mut() {
+                *v = 0.0;
+            }
+            work[j] = 1.0;
+        }
+        // Final alternating-sign probe (LAPACK xLACON): the power method
+        // above can stall in an invariant subspace — e.g. a Gram with two
+        // *identical* rows keeps every iterate symmetric in those
+        // coordinates, exactly orthogonal to the null direction. The
+        // graded alternating vector is symmetric in no coordinate pair,
+        // so it always has a component along such directions.
+        let denom = n.max(2) as f64 - 1.0;
+        for (i, v) in work.iter_mut().enumerate() {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            *v = sign * (1.0 + i as f64 / denom);
+        }
+        if self.solve_vec_in_place(work).is_err() {
+            return 0.0;
+        }
+        let probe: f64 = work.iter().map(|v| v.abs()).sum();
+        if !probe.is_finite() {
+            return 0.0;
+        }
+        est = est.max(2.0 * probe / (3.0 * n as f64));
+        if est <= 0.0 {
+            return 1.0; // ‖A⁻¹‖ ≈ 0 ⇒ no conditioning concern measurable
+        }
+        (1.0 / (anorm * est)).min(1.0)
+    }
 }
 
 /// The placeholder factorisation ([`Cholesky::empty`]).
@@ -463,6 +552,27 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]).unwrap();
         let c = Cholesky::factor(&a).unwrap();
         assert!((c.log_det() - (16.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rcond_tracks_true_conditioning() {
+        let mut work = Vec::new();
+        // Well-conditioned: estimate lands in the right decade.
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let rc = c.rcond_1_est(a.norm_1(), &mut work);
+        assert!(rc > 1e-3 && rc <= 1.0, "rcond {rc}");
+        // diag(1, 1e-12): true 2-norm rcond is 1e-12; the 1-norm estimate
+        // must land within a couple of decades.
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]]).unwrap();
+        let cd = Cholesky::factor(&d).unwrap();
+        let rcd = cd.rcond_1_est(d.norm_1(), &mut work);
+        assert!(rcd < 1e-10, "rcond {rcd}");
+        assert!(rcd > 1e-14, "rcond {rcd}");
+        // Degenerate anorm readings never panic.
+        assert_eq!(c.rcond_1_est(0.0, &mut work), 0.0);
+        assert_eq!(c.rcond_1_est(f64::NAN, &mut work), 0.0);
+        assert_eq!(Cholesky::empty().rcond_1_est(1.0, &mut work), 0.0);
     }
 
     #[test]

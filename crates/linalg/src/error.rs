@@ -37,6 +37,26 @@ pub enum LinalgError {
         /// Length of that row.
         found: usize,
     },
+    /// A triangular solve met a (numerically) zero diagonal entry — the
+    /// system is rank-deficient as far as this factorisation can tell.
+    Singular {
+        /// Column index of the vanishing diagonal entry.
+        col: usize,
+    },
+    /// An iterative factorisation did not converge within its sweep budget.
+    NoConvergence {
+        /// Name of the factorisation (e.g. `"jacobi_svd"`).
+        op: &'static str,
+        /// Number of sweeps performed before giving up.
+        sweeps: usize,
+    },
+    /// An operation received NaN/∞ input it cannot meaningfully process
+    /// (no factorisation can repair poisoned data — callers must reject it
+    /// at the source instead).
+    NonFinite {
+        /// Name of the operation that refused.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -59,6 +79,15 @@ impl fmt::Display for LinalgError {
                 f,
                 "ragged rows: row {row} has length {found}, expected {expected}"
             ),
+            LinalgError::Singular { col } => {
+                write!(f, "matrix is singular (zero diagonal at column {col})")
+            }
+            LinalgError::NoConvergence { op, sweeps } => {
+                write!(f, "{op} did not converge within {sweeps} sweeps")
+            }
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite (NaN/inf) values passed to {op}")
+            }
         }
     }
 }
@@ -99,6 +128,33 @@ mod tests {
             found: 2,
         };
         assert_eq!(e.to_string(), "ragged rows: row 1 has length 2, expected 3");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { col: 4 };
+        assert_eq!(
+            e.to_string(),
+            "matrix is singular (zero diagonal at column 4)"
+        );
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            op: "jacobi_svd",
+            sweeps: 60,
+        };
+        assert_eq!(
+            e.to_string(),
+            "jacobi_svd did not converge within 60 sweeps"
+        );
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = LinalgError::NonFinite { op: "qr" };
+        assert_eq!(e.to_string(), "non-finite (NaN/inf) values passed to qr");
     }
 
     #[test]

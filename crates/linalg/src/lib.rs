@@ -15,7 +15,13 @@
 //!   [`kernels::set_kernel`].
 //! * [`cholesky`] — blocked Cholesky factorisation and solves for
 //!   symmetric positive-definite systems, used by the ridge-regression
-//!   readout.
+//!   readout, plus a cheap 1-norm reciprocal-condition estimate.
+//! * [`qr`] / [`svd`] — Householder QR and one-sided Jacobi SVD, the
+//!   numerically robust fallbacks behind the readout solver escalation
+//!   (`DESIGN.md` §15).
+//! * [`solver`] — the [`solver::SolverPolicy`] (Cholesky → QR → SVD)
+//!   with kernel-style dispatch (`DFR_SOLVER` / [`solver::set_solver`] /
+//!   [`solver::with_solver`]) and the per-solve [`solver::SolverReport`].
 //! * [`ridge`] — ridge regression in both primal and dual form with
 //!   automatic selection based on the problem shape.
 //! * [`activation`] — numerically stable softmax / log-sum-exp and the
@@ -55,8 +61,11 @@ pub mod gemm;
 #[allow(unsafe_code)]
 pub mod kernels;
 mod matrix;
+pub mod qr;
 pub mod ridge;
+pub mod solver;
 pub mod stats;
+pub mod svd;
 
 pub use error::LinalgError;
 pub use gemm::GemmWorkspace;

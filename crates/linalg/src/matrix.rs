@@ -635,6 +635,20 @@ impl Matrix {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
     }
 
+    /// Induced 1-norm: the maximum absolute column sum (`0.0` for an
+    /// empty matrix). Feeds [`crate::cholesky::Cholesky::rcond_1_est`].
+    pub fn norm_1(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for j in 0..self.cols {
+            let mut sum = 0.0;
+            for i in 0..self.rows {
+                sum += self.data[i * self.cols + j].abs();
+            }
+            best = best.max(sum);
+        }
+        best
+    }
+
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);

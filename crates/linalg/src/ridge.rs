@@ -9,6 +9,9 @@
 
 use crate::cholesky::Cholesky;
 use crate::gemm::GemmWorkspace;
+use crate::qr::Qr;
+use crate::solver::{self, SolverKind, SolverPolicy, SolverReport};
+use crate::svd::Svd;
 use crate::{LinalgError, Matrix};
 
 /// Which formulation [`ridge_fit`] should use.
@@ -34,7 +37,9 @@ pub enum RidgeMode {
 /// * [`LinalgError::ShapeMismatch`] if `x.rows() != y.rows()`.
 /// * [`LinalgError::Empty`] if `x` has no rows or no columns.
 /// * [`LinalgError::NotPositiveDefinite`] if `β <= 0` makes the system
-///   singular (use `β > 0`).
+///   singular **and** the active [`SolverPolicy`] is pinned to Cholesky;
+///   the default [`SolverPolicy::Auto`] escalates such systems to a
+///   finite minimum-norm solution instead (`DESIGN.md` §15).
 ///
 /// # Example
 ///
@@ -104,6 +109,9 @@ pub struct RidgePlan<'a> {
     y: &'a Matrix,
     use_primal: bool,
     scratch: Scratch<'a>,
+    /// Outcome of the most recent [`RidgePlan::solve_into`] — which
+    /// backend answered, rcond, escalation, terminal error.
+    report: SolverReport,
 }
 
 /// Every reusable buffer of a [`RidgePlan`]: the pristine Gram system, the
@@ -128,6 +136,13 @@ pub struct RidgeScratch {
     /// Panel-packing buffers for the Gram build and the dual
     /// back-substitution product.
     gemm: GemmWorkspace,
+    /// QR fallback factorisation, refactored only when the policy
+    /// escalates (or is pinned to QR).
+    qr: Qr,
+    /// SVD last-resort decomposition, same lifecycle as `qr`.
+    svd: Svd,
+    /// Work vector of the rcond estimate.
+    cond: Vec<f64>,
 }
 
 impl RidgeScratch {
@@ -228,6 +243,7 @@ impl<'a> RidgePlan<'a> {
             y,
             use_primal,
             scratch,
+            report: SolverReport::default(),
         })
     }
 
@@ -240,8 +256,13 @@ impl<'a> RidgePlan<'a> {
     ///
     /// # Errors
     ///
-    /// [`LinalgError::NotPositiveDefinite`] if `β <= 0` makes the system
-    /// singular.
+    /// Under [`SolverPolicy::Fixed`]`(Cholesky)` a singular system (e.g.
+    /// `β <= 0` on rank-deficient data) is
+    /// [`LinalgError::NotPositiveDefinite`]; under the default
+    /// [`SolverPolicy::Auto`] the solve escalates to QR and then to the
+    /// SVD's minimum-norm solution instead. Non-finite data is
+    /// [`LinalgError::NonFinite`] under every policy — no factorisation
+    /// can repair it.
     pub fn solve(&mut self, beta: f64) -> Result<Matrix, LinalgError> {
         let mut w = Matrix::zeros(0, 0);
         self.solve_into(beta, &mut w)?;
@@ -251,11 +272,40 @@ impl<'a> RidgePlan<'a> {
     /// Solves for one β into a caller-owned `p x q` weight matrix — the
     /// allocation-free sweep step.
     ///
+    /// The backend is chosen by the active [`SolverPolicy`] (resolution:
+    /// [`solver::with_solver`] → [`solver::set_solver`] → `DFR_SOLVER` →
+    /// [`SolverPolicy::Auto`]); [`RidgePlan::last_report`] records what
+    /// happened. Whenever Cholesky accepts the system and its condition
+    /// estimate passes, the result is bitwise identical to the historical
+    /// Cholesky-only path.
+    ///
     /// # Errors
     ///
     /// Same as [`RidgePlan::solve`].
     pub fn solve_into(&mut self, beta: f64, w: &mut Matrix) -> Result<(), LinalgError> {
+        self.solve_into_with(beta, w, solver::active())
+    }
+
+    /// [`RidgePlan::solve_into`] under an explicit policy, bypassing the
+    /// dispatch — the form the differential suites drive directly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RidgePlan::solve`].
+    pub fn solve_into_with(
+        &mut self,
+        beta: f64,
+        w: &mut Matrix,
+        policy: SolverPolicy,
+    ) -> Result<(), LinalgError> {
         let use_primal = self.use_primal;
+        let x = self.x;
+        let y = self.y;
+        let mut report = SolverReport {
+            beta,
+            policy,
+            ..SolverReport::default()
+        };
         let RidgeScratch {
             gram,
             rhs,
@@ -263,17 +313,112 @@ impl<'a> RidgePlan<'a> {
             chol,
             alpha,
             gemm,
+            qr,
+            svd,
+            cond,
         } = self.scratch.get();
         sys.copy_from(gram);
         for i in 0..sys.rows() {
             sys[(i, i)] += beta;
         }
-        Cholesky::factor_into(sys, chol)?;
-        if use_primal {
-            chol.solve_into(rhs, w)
+        let result = if use_primal {
+            solve_policy(policy, &mut report, sys, rhs, w, chol, qr, svd, cond)
         } else {
-            chol.solve_into(self.y, alpha)?;
-            self.x.t_matmul_into_ws(alpha, w, gemm)
+            solve_policy(policy, &mut report, sys, y, alpha, chol, qr, svd, cond)
+                .and_then(|()| x.t_matmul_into_ws(alpha, w, gemm))
+        };
+        if let Err(e) = &result {
+            report.error = Some(e.clone());
+        }
+        self.report = report;
+        result
+    }
+
+    /// The [`SolverReport`] of the most recent solve (all-default before
+    /// the first one). Failing solves leave their terminal error here, so
+    /// sweep drivers can skip-and-surface a bad candidate.
+    pub fn last_report(&self) -> &SolverReport {
+        &self.report
+    }
+}
+
+/// One policy-driven solve of `sys·out = b`: the escalation state machine.
+#[allow(clippy::too_many_arguments)]
+fn solve_policy(
+    policy: SolverPolicy,
+    report: &mut SolverReport,
+    sys: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    chol: &mut Cholesky,
+    qr: &mut Qr,
+    svd: &mut Svd,
+    cond: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    match policy {
+        SolverPolicy::Fixed(kind) => {
+            solve_with(kind, sys, b, out, chol, qr, svd)?;
+            report.used = Some(kind);
+            Ok(())
+        }
+        SolverPolicy::Auto => {
+            match solve_with(SolverKind::Cholesky, sys, b, out, chol, qr, svd) {
+                Ok(()) => {
+                    // Factorable ≠ trustworthy: vet the factor. Below the
+                    // threshold the "solution" may carry no correct digits.
+                    let rcond = chol.rcond_1_est(sys.norm_1(), cond);
+                    report.rcond = Some(rcond);
+                    if rcond >= solver::RCOND_MIN {
+                        report.used = Some(SolverKind::Cholesky);
+                        return Ok(());
+                    }
+                }
+                // Escalate only what a better factorisation can actually
+                // fix; shape errors and poisoned (non-finite) systems are
+                // terminal — QR's input scan rejects the latter below.
+                Err(LinalgError::NotPositiveDefinite { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            report.escalated = true;
+            match solve_with(SolverKind::Qr, sys, b, out, chol, qr, svd) {
+                Ok(()) if out.as_slice().iter().all(|v| v.is_finite()) => {
+                    report.used = Some(SolverKind::Qr);
+                    return Ok(());
+                }
+                // Rank-deficient (or overflowed) past QR's tolerance: the
+                // SVD's truncated minimum-norm solve is the last word.
+                Ok(()) | Err(LinalgError::Singular { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            solve_with(SolverKind::Svd, sys, b, out, chol, qr, svd)?;
+            report.used = Some(SolverKind::Svd);
+            Ok(())
+        }
+    }
+}
+
+/// Factor `sys` with one backend (into its recycled scratch) and solve.
+fn solve_with(
+    kind: SolverKind,
+    sys: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    chol: &mut Cholesky,
+    qr: &mut Qr,
+    svd: &mut Svd,
+) -> Result<(), LinalgError> {
+    match kind {
+        SolverKind::Cholesky => {
+            Cholesky::factor_into(sys, chol)?;
+            chol.solve_into(b, out)
+        }
+        SolverKind::Qr => {
+            Qr::factor_into(sys, qr)?;
+            qr.solve_into(b, out)
+        }
+        SolverKind::Svd => {
+            Svd::factor_into(sys, svd)?;
+            svd.solve_into(b, out)
         }
     }
 }
@@ -460,13 +605,112 @@ mod tests {
     fn plan_validates_like_ridge_fit() {
         assert!(RidgePlan::new(&Matrix::zeros(3, 2), &Matrix::zeros(4, 1)).is_err());
         assert!(RidgePlan::new(&Matrix::zeros(0, 0), &Matrix::zeros(0, 1)).is_err());
-        // Singular system (β = 0 on rank-deficient data) errors per solve,
-        // leaving the plan usable for the next candidate.
+        // Singular system (β = 0 on rank-deficient data): a pinned
+        // Cholesky errors per solve, leaving the plan usable for the next
+        // candidate.
         let x = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
         let y = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
         let mut plan = RidgePlan::new(&x, &y).unwrap();
-        assert!(plan.solve(0.0).is_err());
-        assert!(plan.solve(1e-2).is_ok());
+        solver::with_solver(SolverPolicy::Fixed(SolverKind::Cholesky), || {
+            assert!(plan.solve(0.0).is_err());
+            assert!(plan.last_report().error.is_some());
+            assert!(plan.solve(1e-2).is_ok());
+        });
+    }
+
+    #[test]
+    fn auto_escalates_rank_deficient_to_finite_minimum_norm() {
+        // Duplicated feature column at β = 0: the Gram is exactly
+        // singular. Cholesky must refuse it, Auto must answer anyway.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let y = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]]).unwrap();
+        let mut plan = RidgePlan::with_mode(&x, &y, RidgeMode::Primal).unwrap();
+        let mut w = Matrix::zeros(0, 0);
+        assert!(plan
+            .solve_into_with(0.0, &mut w, SolverPolicy::Fixed(SolverKind::Cholesky))
+            .is_err());
+        plan.solve_into_with(0.0, &mut w, SolverPolicy::Auto)
+            .unwrap();
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+        let report = plan.last_report().clone();
+        assert!(report.escalated);
+        assert_eq!(report.used, Some(SolverKind::Svd));
+        assert!(report.is_ok());
+        // Minimum-norm solution of y = x·w with duplicated columns:
+        // weight splits evenly, w = [1, 1].
+        assert!((w[(0, 0)] - 1.0).abs() < 1e-10, "w00 {}", w[(0, 0)]);
+        assert!((w[(1, 0)] - 1.0).abs() < 1e-10, "w10 {}", w[(1, 0)]);
+    }
+
+    #[test]
+    fn auto_uses_cholesky_bitwise_on_well_conditioned_systems() {
+        let (x, y) = toy();
+        let mut plan = RidgePlan::new(&x, &y).unwrap();
+        let mut w_auto = Matrix::zeros(0, 0);
+        let mut w_chol = Matrix::zeros(0, 0);
+        for beta in [1e-6, 1e-2, 1.0] {
+            plan.solve_into_with(beta, &mut w_auto, SolverPolicy::Auto)
+                .unwrap();
+            let report = plan.last_report().clone();
+            assert_eq!(report.used, Some(SolverKind::Cholesky));
+            assert!(!report.escalated);
+            assert!(report.rcond.unwrap() > solver::RCOND_MIN);
+            plan.solve_into_with(beta, &mut w_chol, SolverPolicy::Fixed(SolverKind::Cholesky))
+                .unwrap();
+            for (a, b) in w_auto.as_slice().iter().zip(w_chol.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "beta {beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_and_svd_policies_match_cholesky_within_tolerance() {
+        let (x, y) = toy();
+        for mode in [RidgeMode::Primal, RidgeMode::Dual] {
+            let mut plan = RidgePlan::with_mode(&x, &y, mode).unwrap();
+            let mut reference = Matrix::zeros(0, 0);
+            let mut w = Matrix::zeros(0, 0);
+            for beta in [1e-6, 1e-2, 1.0] {
+                plan.solve_into_with(
+                    beta,
+                    &mut reference,
+                    SolverPolicy::Fixed(SolverKind::Cholesky),
+                )
+                .unwrap();
+                for kind in [SolverKind::Qr, SolverKind::Svd] {
+                    plan.solve_into_with(beta, &mut w, SolverPolicy::Fixed(kind))
+                        .unwrap();
+                    assert_eq!(plan.last_report().used, Some(kind));
+                    for (a, b) in w.as_slice().iter().zip(reference.as_slice()) {
+                        let rel = (a - b).abs() / b.abs().max(1.0);
+                        assert!(rel < 1e-10, "{kind:?} {mode:?} beta {beta}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_data_is_terminal_under_every_policy() {
+        let x = Matrix::filled(3, 2, 1e200); // Gram overflows to ∞
+        let y = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let mut plan = RidgePlan::with_mode(&x, &y, RidgeMode::Primal).unwrap();
+        let mut w = Matrix::zeros(0, 0);
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Fixed(SolverKind::Qr),
+            SolverPolicy::Fixed(SolverKind::Svd),
+        ] {
+            let err = plan.solve_into_with(1e-6, &mut w, policy).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    LinalgError::NonFinite { .. } | LinalgError::NotPositiveDefinite { .. }
+                ),
+                "{policy:?}: {err}"
+            );
+            assert_eq!(plan.last_report().error.as_ref(), Some(&err));
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Readout solver policy: Cholesky → QR → SVD escalation and its dispatch.
+//!
+//! The ridge readout's Gram systems are SPD for any `β > 0`, so Cholesky
+//! is the right default — but "SPD in exact arithmetic" stops meaning
+//! "factorable in f64" once the Gram is rank-deficient and `β` is tiny
+//! (degenerate channels, drifting streams). [`SolverPolicy::Auto`]
+//! escalates per solve:
+//!
+//! 1. **Cholesky** (`n³/3` flops). On success a cheap 1-norm
+//!    reciprocal-condition estimate ([`crate::cholesky::Cholesky::rcond_1_est`])
+//!    vets the factor; below [`RCOND_MIN`] the answer may carry no correct
+//!    digits, so the policy escalates even though factorisation "worked".
+//! 2. **QR** (`2n³/3` flops) — orthogonal transforms, no squaring of the
+//!    conditioning at the factorisation step. Detects genuine rank
+//!    deficiency at back-substitution ([`crate::LinalgError::Singular`]).
+//! 3. **SVD** (several `O(n³)` sweeps) — minimum-norm solve, finite for
+//!    any rank. The escalation always terminates here.
+//!
+//! Non-finite *input* never escalates: no solver can repair poisoned data
+//! ([`crate::LinalgError::NonFinite`] is terminal), mirroring the serving
+//! layer's pre-admission `BadInput` quarantine.
+//!
+//! Selection mirrors the §13 kernel dispatch exactly: a scoped
+//! [`with_solver`] override, then the process-wide [`set_solver`], then
+//! the `DFR_SOLVER` environment variable (parsed once, panicking on an
+//! unknown value — a differential-CI override must never silently fall
+//! back), then the [`SolverPolicy::Auto`] default.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::LinalgError;
+
+/// Escalate away from a successful Cholesky factor when its estimated
+/// 1-norm reciprocal condition drops below this.
+///
+/// Rationale: f64 carries ~16 decimal digits; a linear solve loses roughly
+/// `log₁₀(1/rcond)` of them, so at `rcond < 1e-14` at most ~2 digits
+/// survive and the "solution" is mostly rounding noise. The threshold sits
+/// two decades *above* `ε ≈ 2.2e-16` so the estimate's slack (it is an
+/// upper bound on the true rcond) cannot hide a fully-degenerate system,
+/// yet far below the `rcond ≈ 1e-11…1e-6` range real β-sweep Grams produce
+/// — the default policy never escalates on the paper's workloads, which is
+/// what keeps the golden digest byte-identical.
+pub const RCOND_MIN: f64 = 1e-14;
+
+/// A concrete factorisation backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Blocked Cholesky ([`crate::cholesky`]) — the fast SPD path.
+    Cholesky,
+    /// Householder QR ([`crate::qr`]) — ill-conditioned fallback.
+    Qr,
+    /// One-sided Jacobi SVD ([`crate::svd`]) — minimum-norm last resort.
+    Svd,
+}
+
+impl SolverKind {
+    /// Every backend, escalation order.
+    pub const ALL: [SolverKind; 3] = [SolverKind::Cholesky, SolverKind::Qr, SolverKind::Svd];
+
+    /// Lower-case name, matching the `DFR_SOLVER` syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Cholesky => "cholesky",
+            SolverKind::Qr => "qr",
+            SolverKind::Svd => "svd",
+        }
+    }
+}
+
+/// How [`crate::ridge::RidgePlan::solve_into`] picks its backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverPolicy {
+    /// Cholesky first, QR on failure or low rcond, SVD last (the default).
+    #[default]
+    Auto,
+    /// Exactly one backend, no escalation — the differential suites and
+    /// the `DFR_SOLVER` CI matrix pin each backend this way.
+    Fixed(SolverKind),
+}
+
+impl SolverPolicy {
+    /// Every policy `DFR_SOLVER` can select.
+    pub const ALL: [SolverPolicy; 4] = [
+        SolverPolicy::Auto,
+        SolverPolicy::Fixed(SolverKind::Cholesky),
+        SolverPolicy::Fixed(SolverKind::Qr),
+        SolverPolicy::Fixed(SolverKind::Svd),
+    ];
+
+    /// Lower-case name, matching the `DFR_SOLVER` syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverPolicy::Auto => "auto",
+            SolverPolicy::Fixed(k) => k.name(),
+        }
+    }
+
+    /// Parses a `DFR_SOLVER` / `--solver` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<SolverPolicy> {
+        let s = s.trim().to_ascii_lowercase();
+        SolverPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// The outcome of one policy-driven solve: which backend answered, whether
+/// the policy had to escalate to get there, the condition estimate that
+/// drove the decision, and the terminal error if every rung failed.
+///
+/// `fit_readout` keeps one report per β candidate (in its scratch, so the
+/// sweep stays allocation-free after warm-up) — a failing candidate is
+/// skipped *and visible*, never silently dropped and never fatal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolverReport {
+    /// The regularisation candidate this solve served.
+    pub beta: f64,
+    /// The policy that was in force.
+    pub policy: SolverPolicy,
+    /// Backend that produced the accepted solution (`None` on failure).
+    pub used: Option<SolverKind>,
+    /// Whether `Auto` moved past its first rung.
+    pub escalated: bool,
+    /// 1-norm reciprocal-condition estimate of the factored system, when
+    /// one was computed (Cholesky succeeded under `Auto`).
+    pub rcond: Option<f64>,
+    /// Terminal failure, if the solve produced no solution.
+    pub error: Option<LinalgError>,
+}
+
+impl SolverReport {
+    /// Whether this solve produced an accepted solution.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none() && self.used.is_some()
+    }
+}
+
+/// The process default: `DFR_SOLVER` if set (panicking on an unknown
+/// value), otherwise [`SolverPolicy::Auto`].
+fn default_policy() -> SolverPolicy {
+    static DEFAULT: OnceLock<SolverPolicy> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("DFR_SOLVER") {
+            let v = v.trim();
+            if !v.is_empty() {
+                return SolverPolicy::parse(v).unwrap_or_else(|| {
+                    panic!(
+                        "DFR_SOLVER={v}: unknown solver; expected one of {}",
+                        SolverPolicy::ALL.map(SolverPolicy::name).join("/")
+                    )
+                });
+            }
+        }
+        SolverPolicy::Auto
+    })
+}
+
+/// Process-wide override installed by [`set_solver`]; 0 means unset,
+/// otherwise `SolverPolicy::ALL` index + 1.
+static GLOBAL_SOLVER: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    /// Thread-local override installed by [`with_solver`]; same encoding
+    /// as [`GLOBAL_SOLVER`].
+    static LOCAL_SOLVER: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Decodes an override cell (index + 1 into [`SolverPolicy::ALL`]).
+fn decode(code: u8) -> SolverPolicy {
+    SolverPolicy::ALL[(code - 1) as usize]
+}
+
+/// Returns a policy's cell encoding.
+fn encode(policy: SolverPolicy) -> u8 {
+    let idx = SolverPolicy::ALL
+        .iter()
+        .position(|p| *p == policy)
+        .expect("ALL contains every policy");
+    (idx + 1) as u8
+}
+
+/// The policy ridge solves started from this thread will use.
+///
+/// Resolution order: [`with_solver`] override → [`set_solver`] override →
+/// `DFR_SOLVER` → [`SolverPolicy::Auto`].
+pub fn active() -> SolverPolicy {
+    let local = LOCAL_SOLVER.with(Cell::get);
+    if local != 0 {
+        return decode(local);
+    }
+    let global = GLOBAL_SOLVER.load(Ordering::Relaxed);
+    if global != 0 {
+        return decode(global);
+    }
+    default_policy()
+}
+
+/// Runs `f` with ridge solves resolved from this thread pinned to
+/// `policy`, restoring the previous setting afterwards — the scoped,
+/// race-free form the solver-differential tests use (mirrors
+/// [`crate::kernels::with_kernel`]).
+///
+/// Solves resolve their policy at entry on the calling thread; the
+/// override does **not** reach solves issued from inside pool workers —
+/// use [`set_solver`] / `DFR_SOLVER` for whole-process runs.
+///
+/// # Example
+///
+/// ```
+/// use dfr_linalg::solver::{active, with_solver, SolverKind, SolverPolicy};
+///
+/// let name = with_solver(SolverPolicy::Fixed(SolverKind::Qr), || active().name());
+/// assert_eq!(name, "qr");
+/// ```
+pub fn with_solver<R>(policy: SolverPolicy, f: impl FnOnce() -> R) -> R {
+    /// Restores the previous override even when `f` unwinds (the property
+    /// harness catches panics and keeps running on the same thread).
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_SOLVER.with(|c| c.set(self.0));
+        }
+    }
+    let code = encode(policy);
+    let _restore = Restore(LOCAL_SOLVER.with(|c| c.replace(code)));
+    f()
+}
+
+/// Installs (or with `None` clears) the process-wide solver override.
+///
+/// Intended for binaries translating a `--solver` flag and for end-to-end
+/// flows whose solves run inside pool workers; tests should prefer the
+/// scoped, race-free [`with_solver`].
+pub fn set_solver(policy: Option<SolverPolicy>) {
+    let code = match policy {
+        Some(p) => encode(p),
+        None => 0,
+    };
+    GLOBAL_SOLVER.store(code, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_policy() {
+        for p in SolverPolicy::ALL {
+            assert_eq!(SolverPolicy::parse(p.name()), Some(p));
+            assert_eq!(SolverPolicy::parse(&p.name().to_uppercase()), Some(p));
+        }
+        assert_eq!(SolverPolicy::parse("lu"), None);
+        assert_eq!(SolverPolicy::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(SolverPolicy::default(), SolverPolicy::Auto);
+    }
+
+    #[test]
+    fn with_solver_is_scoped_and_restores() {
+        let before = active();
+        let inner = with_solver(SolverPolicy::Fixed(SolverKind::Svd), || {
+            // Nested override shadows, then restores.
+            let nested = with_solver(SolverPolicy::Fixed(SolverKind::Cholesky), active);
+            assert_eq!(nested, SolverPolicy::Fixed(SolverKind::Cholesky));
+            active()
+        });
+        assert_eq!(inner, SolverPolicy::Fixed(SolverKind::Svd));
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn with_solver_restores_on_unwind() {
+        let before = active();
+        let result = std::panic::catch_unwind(|| {
+            with_solver(SolverPolicy::Fixed(SolverKind::Qr), || panic!("boom"))
+        });
+        assert!(result.is_err());
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn report_is_ok_semantics() {
+        let mut r = SolverReport::default();
+        assert!(!r.is_ok()); // no backend answered yet
+        r.used = Some(SolverKind::Cholesky);
+        assert!(r.is_ok());
+        r.error = Some(LinalgError::Empty { op: "x" });
+        assert!(!r.is_ok());
+    }
+}

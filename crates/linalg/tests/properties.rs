@@ -5,13 +5,36 @@ use dfr_linalg::cholesky::Cholesky;
 use dfr_linalg::gemm::{K_BLOCK, MR, NR};
 use dfr_linalg::kernels::{available, with_kernel, KernelKind};
 use dfr_linalg::ridge::{ridge_fit_with, RidgeMode, RidgePlan};
-use dfr_linalg::{dot, GemmWorkspace, Matrix};
+use dfr_linalg::solver::{SolverKind, SolverPolicy, RCOND_MIN};
+use dfr_linalg::svd::Svd;
+use dfr_linalg::{dot, GemmWorkspace, LinalgError, Matrix};
 use proptest::prelude::*;
 
 /// Strategy for a matrix of the given shape with bounded entries.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0_f64..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized correctly"))
+}
+
+/// Reinterprets `entries` (length `2n·n`) as a `2n×n` design whose last
+/// column is the sum of the others plus `eps` times an independent
+/// direction — the Gram's condition number grows like `1/eps²`, crossing
+/// from rcond-flagged to exactly rank-deficient as `eps → 0`.
+fn dependent_design(entries: &[f64], n: usize, eps: f64) -> Matrix {
+    let mut x = Matrix::from_vec(2 * n, n, entries.to_vec()).expect("sized correctly");
+    for i in 0..2 * n {
+        let mix: f64 = (0..n - 1).map(|j| x[(i, j)]).sum();
+        let independent = x[(i, n - 1)];
+        x[(i, n - 1)] = mix + eps * independent;
+    }
+    x
+}
+
+/// Strategy for an ill-conditioned `2n×n` design ([`dependent_design`]
+/// over bounded random entries, `eps` baked in).
+fn ill_conditioned_design(n: usize, eps: f64) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0_f64..3.0, 2 * n * n)
+        .prop_map(move |v| dependent_design(&v, n, eps))
 }
 
 /// Deterministic dense fill, distinct per shape/seed, no exact zeros.
@@ -402,5 +425,147 @@ proptest! {
         let mut d = vec![0.0; logits.len()];
         d[k] = 1.0;
         prop_assert!(cross_entropy_from_logits(&logits, &d) >= -1e-12);
+    }
+}
+
+// ---- Solver-escalation properties (DESIGN.md §15) -----------------------
+//
+// Fewer cases than the block above: each case factors a Gram up to three
+// ways (Cholesky, QR, Jacobi SVD), so 16 cases already cover every
+// escalation rung many times over.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole guarantee: on an *exactly* rank-deficient system at
+    /// `β = 0`, the `Auto` policy escalates past Cholesky and still
+    /// returns a finite solution of the (consistent) normal equations.
+    #[test]
+    fn auto_policy_survives_exact_rank_deficiency(
+        x in ill_conditioned_design(6, 0.0),
+        t in proptest::collection::vec(-2.0_f64..2.0, 6),
+    ) {
+        // A consistent RHS (`y = X t`) keeps the singular normal
+        // equations solvable, so "finite and small residual" is the
+        // honest success criterion.
+        let tm = Matrix::from_vec(6, 1, t).expect("sized correctly");
+        let y = x.matmul(&tm).unwrap();
+        let mut plan = RidgePlan::with_mode(&x, &y, RidgeMode::Primal).unwrap();
+        let mut w = Matrix::zeros(0, 0);
+        plan.solve_into_with(0.0, &mut w, SolverPolicy::Auto).unwrap();
+        prop_assert!(w.as_slice().iter().all(|v| v.is_finite()));
+
+        let report = plan.last_report();
+        prop_assert!(report.is_ok(), "{report:?}");
+        prop_assert!(report.escalated, "singular Gram must escalate: {report:?}");
+        prop_assert!(report.used != Some(SolverKind::Cholesky), "{report:?}");
+
+        // Residual of the normal equations `(XᵀX) w = Xᵀy`.
+        let gram = x.t_matmul(&x).unwrap();
+        let rhs = x.t_matmul(&y).unwrap();
+        let pred = gram.matmul(&w).unwrap();
+        let denom = rhs.as_slice().iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (p, r) in pred.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((p - r).abs() <= 1e-7 * denom, "{p} vs {r}");
+        }
+    }
+
+    /// On healthy (regularised, full-rank) systems the backends are
+    /// interchangeable: `Auto` rides the Cholesky path **bit for bit**
+    /// without escalating and records a comfortable rcond, while the
+    /// pinned QR/SVD factorisations agree to rounding — the property-based
+    /// form of the solver-differential suites.
+    #[test]
+    fn solver_backends_agree_on_well_conditioned_systems(
+        x in matrix(12, 5), y in matrix(12, 3),
+        beta in 1e-3_f64..1.0,
+    ) {
+        let mut plan = RidgePlan::with_mode(&x, &y, RidgeMode::Primal).unwrap();
+        let mut reference = Matrix::zeros(0, 0);
+        plan.solve_into_with(beta, &mut reference,
+            SolverPolicy::Fixed(SolverKind::Cholesky)).unwrap();
+
+        let mut w = Matrix::zeros(0, 0);
+        plan.solve_into_with(beta, &mut w, SolverPolicy::Auto).unwrap();
+        for (a, b) in w.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "auto diverged from cholesky");
+        }
+        let report = plan.last_report();
+        prop_assert!(!report.escalated, "{report:?}");
+        prop_assert_eq!(report.used, Some(SolverKind::Cholesky));
+        let rcond = report.rcond.expect("cholesky succeeded under auto");
+        prop_assert!(rcond > RCOND_MIN && rcond <= 1.0, "rcond {rcond:e}");
+
+        for kind in [SolverKind::Qr, SolverKind::Svd] {
+            plan.solve_into_with(beta, &mut w, SolverPolicy::Fixed(kind)).unwrap();
+            for (a, b) in w.as_slice().iter().zip(reference.as_slice()) {
+                prop_assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()),
+                    "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The SVD rung's contract: on an exactly dependent design it loses
+    /// rank, and its truncated solve is *minimum-norm* — no larger than
+    /// the known solution `t` the RHS was built from.
+    #[test]
+    fn svd_solution_is_minimum_norm(
+        x in ill_conditioned_design(5, 0.0),
+        t in proptest::collection::vec(-2.0_f64..2.0, 5),
+    ) {
+        let tm = Matrix::from_vec(5, 1, t).expect("sized correctly");
+        let y = x.matmul(&tm).unwrap();
+        let gram = x.t_matmul(&x).unwrap();
+        let rhs = x.t_matmul(&y).unwrap();
+        let mut svd = Svd::factor(&gram).unwrap();
+        prop_assert!(svd.rank() < 5,
+            "exact dependence must lose rank: σ = {:?}", svd.sigma());
+        let w = svd.solve(&rhs).unwrap();
+        let norm = |m: &Matrix| m.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
+        // `t` also solves the consistent normal equations, so the
+        // truncated pseudoinverse solution can never be longer.
+        prop_assert!(norm(&w) <= norm(&tm) + 1e-8 * (1.0 + norm(&tm)),
+            "{} vs {}", norm(&w), norm(&tm));
+    }
+
+    /// The condition diagnostics: an `ε`-dependent column with
+    /// `ε ∈ [1e-14, 1e-8]` must be caught — either Cholesky rejects the
+    /// Gram outright, or the Hager/xLACON rcond estimate lands orders of
+    /// magnitude below a healthy system's.
+    #[test]
+    fn rcond_estimate_flags_near_dependence(
+        entries in proptest::collection::vec(-3.0_f64..3.0, 50),
+        exp in 8.0_f64..14.0,
+    ) {
+        let x = dependent_design(&entries, 5, 10f64.powf(-exp));
+        let gram = x.t_matmul(&x).unwrap();
+        match Cholesky::factor(&gram) {
+            Err(_) => {} // outright rejection is the other escalation trigger
+            Ok(c) => {
+                let rcond = c.rcond_1_est(gram.norm_1(), &mut Vec::new());
+                prop_assert!(rcond < 1e-9, "ε = 1e-{exp:.1}: rcond {rcond:e}");
+            }
+        }
+    }
+
+    /// Poisoned inputs are terminal, never escalated: no factorisation can
+    /// repair a NaN/Inf system, so `Auto` must surface
+    /// [`LinalgError::NonFinite`] instead of burning QR + SVD sweeps to
+    /// manufacture garbage — the linalg half of the serving layer's
+    /// `BadInput` quarantine.
+    #[test]
+    fn poisoned_inputs_are_terminal_not_escalated(
+        x in matrix(8, 4), y in matrix(8, 2),
+        poison_row in 0usize..8, poison_col in 0usize..4,
+        use_nan in proptest::bool::ANY,
+    ) {
+        let mut bad = x;
+        bad[(poison_row, poison_col)] = if use_nan { f64::NAN } else { f64::INFINITY };
+        let mut plan = RidgePlan::with_mode(&bad, &y, RidgeMode::Primal).unwrap();
+        let mut w = Matrix::zeros(0, 0);
+        let err = plan.solve_into_with(1e-2, &mut w, SolverPolicy::Auto).unwrap_err();
+        prop_assert!(matches!(err, LinalgError::NonFinite { .. }), "{err:?}");
+        let report = plan.last_report();
+        prop_assert!(!report.is_ok(), "{report:?}");
+        prop_assert!(report.used.is_none(), "{report:?}");
     }
 }

@@ -296,6 +296,20 @@ impl FrozenModel {
         if stored != computed {
             return Err(ServeError::Digest { stored, computed });
         }
+        // Non-finite quarantine (`DESIGN.md` §15): the digest pins bytes,
+        // not sanity — a stream whose parameters carry NaN/inf hashes
+        // consistently yet would poison every prediction served from it.
+        // Reject it here so a corrupted-at-rest model can never be
+        // published.
+        if let Some(i) = bytes[24..bytes.len() - 8]
+            .chunks_exact(8)
+            .map(|ch| f64::from_le_bytes(ch.try_into().expect("8 bytes")))
+            .position(|v| !v.is_finite())
+        {
+            return Err(ServeError::Format {
+                detail: format!("non-finite parameter at float index {i}"),
+            });
+        }
         let mut floats = bytes[24..bytes.len() - 8]
             .chunks_exact(8)
             .map(|ch| f64::from_le_bytes(ch.try_into().expect("8 bytes")));
@@ -491,6 +505,29 @@ mod tests {
             Err(ServeError::Format { .. })
         ));
         assert!(FrozenModel::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected() {
+        let mut m = model();
+        m.w_out_mut()[(1, 3)] = f64::NAN;
+        let bytes = FrozenModel::freeze(&m).to_bytes();
+        // The digest is over the raw bytes, so it still verifies — the
+        // quarantine has to catch the poisoned parameter explicitly.
+        let err = FrozenModel::from_bytes(&bytes).unwrap_err();
+        match err {
+            ServeError::Format { detail } => {
+                assert!(detail.contains("non-finite"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected Format, got {other:?}"),
+        }
+
+        let mut m2 = model();
+        m2.bias_mut()[0] = f64::INFINITY;
+        assert!(matches!(
+            FrozenModel::from_bytes(&FrozenModel::freeze(&m2).to_bytes()),
+            Err(ServeError::Format { .. })
+        ));
     }
 
     #[test]

@@ -190,6 +190,19 @@ impl ServeSession {
             ..
         } = self;
         dfr_pool::with_threads_opt(*threads, || model.predict_batch_into(series, plan, state))?;
+        // Output-side half of the non-finite quarantine (`DESIGN.md` §15):
+        // model parameters and server ingress are both vetted, so a
+        // non-finite probability here means a serving-path bug — catch it
+        // at the source in debug builds instead of shipping NaN to a
+        // client.
+        debug_assert!(
+            state
+                .probabilities()
+                .as_slice()
+                .iter()
+                .all(|p| p.is_finite()),
+            "predict_batch produced a non-finite probability"
+        );
         Ok(BatchResult {
             digest: model.content_digest(),
             state,
@@ -213,6 +226,10 @@ impl ServeSession {
             ..
         } = self;
         let class = dfr_pool::with_threads_opt(*threads, || model.predict_one(series, one))?;
+        debug_assert!(
+            one.probs().iter().all(|p| p.is_finite()),
+            "predict_one produced a non-finite probability"
+        );
         Ok(Prediction {
             class,
             probabilities: one.probs(),

@@ -74,6 +74,11 @@ pub enum Status {
     /// request was not answered with a prediction. Not retryable against
     /// the same sample without investigation.
     Internal = 6,
+    /// The series decoded cleanly but carried non-finite (NaN/∞) values.
+    /// Rejected *before* admission: a poisoned sample never reaches the
+    /// batcher, consumes no quarantine slot, and retrying the same
+    /// payload is pointless — fix the producer.
+    BadInput = 7,
 }
 
 impl Status {
@@ -92,6 +97,7 @@ impl Status {
             4 => Some(Status::PredictFailed),
             5 => Some(Status::ShuttingDown),
             6 => Some(Status::Internal),
+            7 => Some(Status::BadInput),
             _ => None,
         }
     }
@@ -107,6 +113,7 @@ impl fmt::Display for Status {
             Status::PredictFailed => "predict failed",
             Status::ShuttingDown => "shutting down",
             Status::Internal => "internal",
+            Status::BadInput => "bad input",
         };
         f.write_str(name)
     }
@@ -703,5 +710,28 @@ mod tests {
         assert!(Status::from_code(99).is_none());
         assert_eq!(Status::Busy.to_string(), "busy");
         assert_eq!(Status::from_code(Status::Ok.code()), Some(Status::Ok));
+    }
+
+    #[test]
+    fn every_status_round_trips_its_wire_code() {
+        for status in [
+            Status::Ok,
+            Status::Busy,
+            Status::Malformed,
+            Status::UnknownDigest,
+            Status::PredictFailed,
+            Status::ShuttingDown,
+            Status::Internal,
+            Status::BadInput,
+        ] {
+            assert_eq!(Status::from_code(status.code()), Some(status));
+        }
+        assert_eq!(Status::BadInput.code(), 7);
+        assert_eq!(Status::BadInput.to_string(), "bad input");
+        // A BadInput rejection survives the wire round trip.
+        let resp = Response::reject(9, Status::BadInput, 0);
+        let mut frame = Vec::new();
+        encode_response(&resp, &mut frame);
+        assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
     }
 }

@@ -107,6 +107,7 @@ pub struct ServerStats {
     active_connections: AtomicU64,
     admitted: AtomicU64,
     rejected_busy: AtomicU64,
+    bad_input: AtomicU64,
     malformed: AtomicU64,
     frames_truncated: AtomicU64,
     frames_oversized: AtomicU64,
@@ -134,6 +135,10 @@ pub struct StatsSnapshot {
     pub admitted: u64,
     /// Requests rejected with `Busy` (queue full).
     pub rejected_busy: u64,
+    /// Requests carrying non-finite (NaN/inf) feature values, rejected
+    /// with `BadInput` *before* admission — a poisoned sample never
+    /// reaches the batcher, so it is absent from the admission ledger.
+    pub bad_input: u64,
     /// Bodies that framed correctly but failed to decode (answered
     /// `Malformed`, connection kept).
     pub malformed: u64,
@@ -173,6 +178,7 @@ impl ServerStats {
             active_connections: self.active_connections.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            bad_input: self.bad_input.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             frames_truncated: self.frames_truncated.load(Ordering::Relaxed),
             frames_oversized: self.frames_oversized.load(Ordering::Relaxed),
@@ -416,6 +422,20 @@ fn connection_loop(
             Ok(None) => break, // clean EOF
             Ok(Some(body)) => match decode_request(body) {
                 Ok(req) => {
+                    // Non-finite quarantine (`DESIGN.md` §15): a poisoned
+                    // sample is rejected with a typed `BadInput` *before*
+                    // admission, so it never occupies a queue slot, never
+                    // reaches the batcher, and stays out of the admission
+                    // ledger entirely.
+                    if !req.series.as_slice().iter().all(|v| v.is_finite()) {
+                        stats.bad_input.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::reject(req.request_id, Status::BadInput, 0);
+                        encode_response(&resp, &mut scratch);
+                        if reply_tx.send(scratch.clone()).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
                     let job = Job {
                         request_id: req.request_id,
                         digest_pin: req.digest_pin,

@@ -75,6 +75,20 @@ fn series_for(i: usize) -> Matrix {
     .unwrap()
 }
 
+/// `series_for(i)` with one element poisoned — NaN or ±Inf by index, at
+/// an index-dependent position so the scan is exercised at every depth.
+fn poisoned_series_for(i: usize) -> Matrix {
+    let mut s = series_for(i);
+    let poison = match i % 3 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        _ => f64::NEG_INFINITY,
+    };
+    let row = i % s.rows();
+    s[(row, i % 2)] = poison;
+    s
+}
+
 /// A model's expected (class, probability bits) per series.
 type Oracle = Vec<(usize, Vec<u64>)>;
 
@@ -275,6 +289,52 @@ fn torn_and_slow_io_preserves_bit_identity() {
     server.shutdown();
 }
 
+/// The non-finite quarantine (`DESIGN.md` §15): poisoned payloads
+/// (NaN/±Inf features) are rejected with the typed `BadInput` status
+/// *before* admission — exactly one count per poisoned request, nothing
+/// admitted, nothing quarantined — and the interleaved clean traffic on
+/// the same connection still serves bitwise-identically.
+#[test]
+fn poisoned_payloads_are_rejected_before_admission() {
+    quiet_injected_panics();
+    let _wd = watchdog("bad input", Duration::from_secs(60));
+    let frozen = model_frozen(0.02, 17);
+    let series: Vec<Matrix> = (0..6).map(series_for).collect();
+    let expected = oracle(&frozen, &series);
+    let mut server = start(frozen, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for (i, s) in series.iter().enumerate() {
+        // Poison first, clean second: the rejection must not disturb the
+        // connection or the clean request right behind it.
+        match client.predict(&poisoned_series_for(i)) {
+            Err(ServerError::Rejected {
+                status: Status::BadInput,
+                ..
+            }) => {}
+            other => panic!("poisoned payload must be a typed BadInput, got {other:?}"),
+        }
+        let got = client.predict(s).unwrap();
+        assert_eq!(got.class, expected[i].0, "series {i} class");
+        let bits: Vec<u64> = got.probabilities.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, expected[i].1, "series {i} probabilities");
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.bad_input,
+        series.len() as u64,
+        "exactly one count per poisoned request: {stats:?}"
+    );
+    assert_eq!(stats.served, series.len() as u64);
+    // Pre-admission: the poisoned requests never touched the ledger.
+    assert_eq!(stats.admitted, stats.served, "{stats:?}");
+    assert_eq!(stats.admitted, stats.answered(), "{stats:?}");
+    assert_eq!(stats.quarantined, 0, "{stats:?}");
+    server.shutdown();
+}
+
 /// The idle reaper: a slow-loris connection (two bytes, then silence)
 /// is disconnected at the idle timeout instead of pinning a reader
 /// thread forever, and the reap is counted.
@@ -397,15 +457,19 @@ struct SoakTotals {
     frames_truncated: u64,
     busy_retries: u64,
     batches: u64,
+    bad_input: u64,
+    poison_rejected: u64,
 }
 
 /// The capstone soak: for each fixed seed, a loopback server under the
-/// full chaos fault plan × 3 concurrent retrying clients × a racing
-/// hot-swap thread. Every `Ok` response is verified bitwise against the
-/// direct-predict oracle of the model its digest names; every failure
-/// must be a typed rejection or a transport error (reconnect and carry
-/// on); afterwards the admission ledger must balance and every
-/// connection thread must be gone.
+/// full chaos fault plan × 3 concurrent retrying clients × a poisoned-
+/// payload client × a racing hot-swap thread. Every `Ok` response is
+/// verified bitwise against the direct-predict oracle of the model its
+/// digest names; every failure must be a typed rejection or a transport
+/// error (reconnect and carry on); every poisoned request must come back
+/// as a typed `BadInput` and be counted outside the admission ledger;
+/// afterwards the ledger must balance and every connection thread must
+/// be gone.
 #[test]
 fn chaos_soak_across_seeds() {
     quiet_injected_panics();
@@ -413,6 +477,7 @@ fn chaos_soak_across_seeds() {
     const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
     const CLIENTS: usize = 3;
     const REQUESTS_PER_CLIENT: usize = 40;
+    const POISON_REQUESTS: usize = 12;
 
     let frozen_a = model_frozen(0.02, 17);
     let frozen_b = model_frozen(0.05, 29);
@@ -532,9 +597,57 @@ fn chaos_soak_across_seeds() {
                 })
             })
             .collect();
+        // The poisoner: every request carries a NaN/±Inf feature. Under
+        // the same fault plan a response can be lost in transport, so it
+        // reconnects and retries like the clean clients — but the only
+        // acceptable *answer* is a typed `BadInput`, never a prediction.
+        let poison_rejected = Arc::new(AtomicU64::new(0));
+        let poison_reconnects = Arc::new(AtomicU64::new(0));
+        let poisoner = {
+            let poison_rejected = Arc::clone(&poison_rejected);
+            let poison_reconnects = Arc::clone(&poison_reconnects);
+            std::thread::spawn(move || {
+                let connect = || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.set_io_timeout(Some(Duration::from_secs(5))).unwrap();
+                    c
+                };
+                let mut client = connect();
+                let mut transport_failures = 0u32;
+                for r in 0..POISON_REQUESTS {
+                    let s = poisoned_series_for(r);
+                    loop {
+                        match client.predict(&s) {
+                            Err(ServerError::Rejected {
+                                status: Status::BadInput,
+                                ..
+                            }) => {
+                                poison_rejected.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(got) => panic!("poisoned request {r} was served: {got:?}"),
+                            Err(ServerError::Rejected { status, .. }) => {
+                                panic!("poisoned request {r} got {status}, want bad input")
+                            }
+                            Err(_) => {
+                                transport_failures += 1;
+                                assert!(
+                                    transport_failures < 500,
+                                    "poison client cannot make progress through the fault plan"
+                                );
+                                poison_reconnects.fetch_add(1, Ordering::Relaxed);
+                                client = connect();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
         for wkr in workers {
             wkr.join().expect("soak client");
         }
+        poisoner.join().expect("poison client");
         swapper.join().unwrap();
         server.shutdown();
 
@@ -566,8 +679,25 @@ fn chaos_soak_across_seeds() {
             ok_count.load(Ordering::Relaxed) <= stats.served,
             "seed {seed}: more Ok responses than serves"
         );
+        // Every poisoned request eventually earned its typed rejection,
+        // and the server counted each *delivery* exactly once: at least
+        // one count per observed rejection, at most one extra per
+        // response lost in transport (the client re-sent, the server
+        // re-counted). With a quiet transport the bounds collapse to
+        // equality — see `poisoned_payloads_are_rejected_before_admission`.
+        let rejected = poison_rejected.load(Ordering::Relaxed);
+        let lost = poison_reconnects.load(Ordering::Relaxed);
+        assert_eq!(rejected, POISON_REQUESTS as u64, "seed {seed}");
+        assert!(
+            stats.bad_input >= rejected && stats.bad_input <= rejected + lost,
+            "seed {seed}: bad_input {} outside [{rejected}, {}]: {stats:?}",
+            stats.bad_input,
+            rejected + lost
+        );
 
         totals.requests_ok += ok_count.load(Ordering::Relaxed);
+        totals.bad_input += stats.bad_input;
+        totals.poison_rejected += rejected;
         totals.requests_rejected += rejected_count.load(Ordering::Relaxed);
         totals.reconnects += reconnect_count.load(Ordering::Relaxed);
         totals.busy_retries += busy_retry_count.load(Ordering::Relaxed);
@@ -599,6 +729,10 @@ fn chaos_soak_across_seeds() {
         totals.reconnects + totals.frames_truncated + totals.io_errors + totals.timeouts > 0,
         "chaos plan never faulted the transport: {totals:?}"
     );
+    assert!(
+        totals.bad_input >= totals.poison_rejected && totals.poison_rejected > 0,
+        "poison quarantine never exercised: {totals:?}"
+    );
 
     if let Ok(path) = std::env::var("DFR_CHAOS_STATS") {
         let json = format!(
@@ -606,7 +740,8 @@ fn chaos_soak_across_seeds() {
              \"requests_ok\": {},\n  \"requests_rejected\": {},\n  \"reconnects\": {},\n  \
              \"busy_retries\": {},\n  \"served\": {},\n  \"batches\": {},\n  \
              \"panics_caught\": {},\n  \"quarantined\": {},\n  \"timeouts\": {},\n  \
-             \"io_errors\": {},\n  \"frames_truncated\": {}\n}}\n",
+             \"io_errors\": {},\n  \"frames_truncated\": {},\n  \"bad_input\": {},\n  \
+             \"poison_rejected\": {}\n}}\n",
             SEEDS.len(),
             CLIENTS,
             REQUESTS_PER_CLIENT,
@@ -621,6 +756,8 @@ fn chaos_soak_across_seeds() {
             totals.timeouts,
             totals.io_errors,
             totals.frames_truncated,
+            totals.bad_input,
+            totals.poison_rejected,
         );
         std::fs::write(&path, json).expect("write DFR_CHAOS_STATS");
         eprintln!("chaos soak stats written to {path}");
