@@ -6,8 +6,8 @@
 //!     --quick --skip server_bench,serve]
 //! ```
 //!
-//! Runs the `gemm`, `hotpath`, `parallel_bench`, `serve` and
-//! `server_bench` siblings (each still writes its own `results/BENCH_*`
+//! Runs the `gemm`, `hotpath`, `parallel_bench`, `serve`, `server_bench`
+//! and `online_bench` siblings (each still writes its own `results/BENCH_*`
 //! file, unchanged), then merges those files under one object whose
 //! `meta` block records what the numbers mean: available cores, the pool
 //! width, the dispatched SIMD kernel (`DESIGN.md` §13), and the git
@@ -71,6 +71,12 @@ const SIBLINGS: &[Sibling] = &[
         results: "BENCH_server.json",
         full: &["--requests", "200", "--deadline-us", "500"],
         quick: &["--requests", "60", "--deadline-us", "500"],
+    },
+    Sibling {
+        bin: "online_bench",
+        results: "BENCH_online.json",
+        full: &["--repeat", "5"],
+        quick: &["--repeat", "2", "--warmup", "64", "--drift-size", "120"],
     },
 ];
 

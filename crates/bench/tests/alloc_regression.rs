@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use dfr_core::backprop::{backprop_into, BackpropOptions};
+use dfr_core::online::OnlineRidge;
 use dfr_core::optimizer::{ParamBounds, Sgd};
 use dfr_core::streaming::{streaming_backprop_into, StreamingCache, StreamingForward};
 use dfr_core::workspace::TrainWorkspace;
@@ -298,6 +299,106 @@ fn ridge_plan_sweep_is_allocation_free_after_warmup() {
         assert_eq!(
             allocs, 0,
             "post-warm-up RidgePlan sweeps must not allocate ({allocs} allocations)"
+        );
+    });
+}
+
+/// The online continual-learning hot path (DESIGN.md §16): after
+/// warm-up, absorbing a sample (rank-1 Cholesky update of the
+/// intercept-augmented system), retracting one (rank-1 downdate) and
+/// refitting the readout off the warm factor all run without touching
+/// the allocator. Publishing is deliberately not pinned — freezing a
+/// model's byte layout is a fresh allocation by design.
+#[test]
+fn online_absorb_retract_refit_are_allocation_free_after_warmup() {
+    dfr_pool::with_threads(1, || {
+        let (p, q, beta) = (40usize, 4usize, 1e-4);
+        let mut learner = OnlineRidge::new(p, q, beta).expect("learner");
+        let mut features = vec![0.0f64; p];
+        let mut fill = |buf: &mut [f64], k: usize| {
+            for (j, v) in buf.iter_mut().enumerate() {
+                *v = ((k * 31 + j * 7) as f64 * 0.173).sin();
+            }
+        };
+        let mut w = Matrix::zeros(0, 0);
+        let mut b = Vec::new();
+        // One-hot targets prepared up front: building them inside the
+        // measured region would charge the pin for test scaffolding.
+        let targets: Vec<Vec<f64>> = (0..q).map(|c| one_hot(q, c)).collect();
+        // Warm-up: the rank-1 work vector, the solver scratch and the
+        // refit output buffers all reach their high-water marks.
+        for k in 0..4 {
+            fill(&mut features, k);
+            learner.absorb_label(&features, k % q).expect("absorb");
+        }
+        learner.retract(&features, &targets[3]).expect("retract");
+        learner.refit_into(&mut w, &mut b).expect("refit");
+
+        let (allocs, ()) = count_allocs(|| {
+            for k in 4..104 {
+                fill(&mut features, k);
+                learner.absorb_label(&features, k % q).expect("absorb");
+                if k % 10 == 0 {
+                    // Retracting the sample just absorbed always leaves
+                    // the system positive definite.
+                    learner
+                        .retract(&features, &targets[k % q])
+                        .expect("retract");
+                    learner.absorb_label(&features, k % q).expect("re-absorb");
+                }
+                if k % 25 == 0 {
+                    learner.refit_into(&mut w, &mut b).expect("refit");
+                }
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up online absorb/retract/refit must not allocate ({allocs} allocations in 100 steps)"
+        );
+        assert!(!learner.factor_stale());
+    });
+}
+
+/// One-hot helper for the online pin (allocates — call outside measured
+/// regions only, or before warm-up).
+fn one_hot(q: usize, label: usize) -> Vec<f64> {
+    let mut t = vec![0.0; q];
+    t[label] = 1.0;
+    t
+}
+
+/// The serving-stack absorb ([`OnlinePublisher::absorb`]) adds a
+/// streaming forward pass in front of the rank-1 update; the combined
+/// step holds the same zero-allocation contract.
+#[test]
+fn publisher_absorb_is_allocation_free_after_warmup() {
+    use dfr_server::{ModelRegistry, OnlinePublisher, PublisherConfig};
+    use std::sync::Arc;
+
+    dfr_pool::with_threads(1, || {
+        let (model, series, _) = model_and_series(20, 60);
+        let registry = Arc::new(ModelRegistry::new(FrozenModel::freeze(&model)));
+        let mut publisher = OnlinePublisher::new(
+            model,
+            1e-4,
+            registry,
+            PublisherConfig {
+                publish_every: usize::MAX, // never publish inside the pin
+                min_interval: std::time::Duration::ZERO,
+            },
+        )
+        .expect("publisher");
+        for k in 0..3 {
+            publisher.absorb(&series, k % 4).expect("warm-up absorb");
+        }
+        let (allocs, ()) = count_allocs(|| {
+            for k in 3..53 {
+                publisher.absorb(&series, k % 4).expect("absorb");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "post-warm-up publisher absorb must not allocate ({allocs} allocations in 50 steps)"
         );
     });
 }

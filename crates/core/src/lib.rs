@@ -47,6 +47,7 @@ pub mod grid;
 pub mod memory;
 pub mod metrics;
 pub mod model;
+pub mod online;
 pub mod optimizer;
 pub mod readout;
 pub mod streaming;

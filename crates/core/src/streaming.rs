@@ -167,10 +167,18 @@ impl StreamingForward {
             .into());
         }
         let t_len = series.rows();
+        if t_len == 0 {
+            // A 0-row series has no reservoir trajectory: the DPRR sums are
+            // all zero and the 1/T normalisation is undefined, so the old
+            // behaviour (silently emitting the bias-only prediction) hid
+            // client bugs. Reject it with the same typed error the serving
+            // feature kernel uses — the server maps it onto `BadInput`.
+            return Err(ReservoirError::EmptySeries.into());
+        }
         let a = reservoir.a();
         let b = reservoir.b();
         let f = reservoir.nonlinearity();
-        let window = self.window.min(t_len.max(1));
+        let window = self.window.min(t_len);
 
         // DPRR accumulators live directly in the feature buffer (raw sums;
         // scaled by 1/T in place at the end).
@@ -246,7 +254,7 @@ impl StreamingForward {
         }
 
         // Scale features by 1/T in place and run the readout.
-        let scale = 1.0 / (t_len.max(1) as f64);
+        let scale = 1.0 / (t_len as f64);
         for v in &mut cache.features {
             *v *= scale;
         }
@@ -514,6 +522,44 @@ mod tests {
     fn zero_window_rejected() {
         assert!(StreamingForward::new(0).is_err());
         assert!(StreamingForward::new(1).is_ok());
+    }
+
+    #[test]
+    fn empty_series_is_typed_rejection() {
+        let m = model();
+        let err = StreamingForward::paper().run(&m, &series(0)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Reservoir(ReservoirError::EmptySeries)),
+            "{err}"
+        );
+        // The `_into` form rejects identically, and a cache that held a
+        // previous good result keeps working for the next sample.
+        let mut cache = StreamingForward::paper().run(&m, &series(7)).unwrap();
+        assert!(StreamingForward::paper()
+            .run_into(&m, &series(0), &mut cache)
+            .is_err());
+        StreamingForward::paper()
+            .run_into(&m, &series(7), &mut cache)
+            .unwrap();
+        assert_eq!(cache.t_len, 7);
+    }
+
+    #[test]
+    fn single_step_series_is_served() {
+        // t_len = 1 is the boundary the 0-row rejection must not move:
+        // one step means one state row, features scaled by 1/1, and
+        // bitwise agreement with the standard forward pass.
+        let m = model();
+        let u = series(1);
+        let standard = m.forward(&u).expect("standard");
+        let streaming = StreamingForward::paper().run(&m, &u).expect("streaming");
+        assert_eq!(streaming.t_len, 1);
+        for (a, b) in standard.features.iter().zip(&streaming.features) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in standard.probs.iter().zip(&streaming.probs) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

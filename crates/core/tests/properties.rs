@@ -3,12 +3,15 @@
 
 use dfr_core::backprop::{backprop, backprop_into, BackpropMode, BackpropOptions};
 use dfr_core::memory::MemoryModel;
+use dfr_core::online::OnlineRidge;
 use dfr_core::optimizer::Schedule;
 use dfr_core::streaming::{
     streaming_backprop, streaming_backprop_into, StreamingCache, StreamingForward,
 };
 use dfr_core::workspace::{BackpropWorkspace, TrainWorkspace};
 use dfr_core::{DfrClassifier, ForwardCache};
+use dfr_linalg::ridge::{augment_ones, RidgeMode, RidgePlan};
+use dfr_linalg::solver::{with_solver, SolverKind, SolverPolicy};
 use dfr_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -277,6 +280,186 @@ proptest! {
             m.forward_into(s, &mut cache).expect("forward");
             prop_assert_eq!(serial.row(i), &cache.features[..]);
         }
+    }
+}
+
+/// Deterministic pseudo-random sample stream for the online-learning
+/// properties (splitmix-style; no shared state across cases).
+fn online_sample(i: u64, p: usize, q: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut s = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let x: Vec<f64> = (0..p).map(|_| next() * 2.0).collect();
+    let mut t = vec![0.0; q];
+    t[(i as usize) % q] = 1.0;
+    (x, t)
+}
+
+/// From-scratch batch ridge refit (primal, intercept-augmented) on an
+/// explicit sample set — the differential oracle the rank-1 learner is
+/// held to.
+fn online_batch_fit(samples: &[(Vec<f64>, Vec<f64>)], beta: f64) -> (Matrix, Vec<f64>) {
+    let p = samples[0].0.len();
+    let q = samples[0].1.len();
+    let mut x = Matrix::zeros(samples.len(), p);
+    let mut y = Matrix::zeros(samples.len(), q);
+    for (i, (f, t)) in samples.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(f);
+        y.row_mut(i).copy_from_slice(t);
+    }
+    let aug = augment_ones(&x);
+    let mut plan = RidgePlan::with_mode(&aug, &y, RidgeMode::Primal).expect("plan");
+    let w_aug = plan.solve(beta).expect("batch solve");
+    let mut w_out = Matrix::zeros(q, p);
+    for i in 0..p {
+        for c in 0..q {
+            w_out[(c, i)] = w_aug[(i, c)];
+        }
+    }
+    (w_out, w_aug.row(p).to_vec())
+}
+
+// Online continual-learning properties (DESIGN.md §16): the rank-1
+// Cholesky up/downdated learner agrees with a from-scratch batch refit
+// across random absorb orders, random retraction subsets, solver
+// policies (auto and pinned Cholesky) and pool widths 1 / 4 — and an
+// indefinite downdate escalates instead of poisoning the factor.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Absorbing any permutation of a sample set and refitting equals
+    /// the batch oracle on that set to 1e-9, for every solver policy ×
+    /// thread-count combination, and the final refit answers bitwise
+    /// identically across those execution configurations.
+    #[test]
+    fn online_refit_matches_batch_across_orders_solvers_and_threads(
+        seed in 0u64..1000,
+        n in 8usize..28,
+        p in 3usize..9,
+        q in 2usize..4,
+    ) {
+        let beta = 1e-4;
+        // A seeded Fisher–Yates permutation of the sample stream.
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        let mut s = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(7);
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let samples: Vec<_> = order.iter().map(|&i| online_sample(i, p, q)).collect();
+        let (bw, bb) = online_batch_fit(&samples, beta);
+
+        let mut answers: Vec<(Matrix, Vec<f64>)> = Vec::new();
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Fixed(SolverKind::Cholesky),
+        ] {
+            for threads in [1usize, 4] {
+                let (w, b) = with_solver(policy, || {
+                    dfr_pool::with_threads(threads, || {
+                        let mut learner = OnlineRidge::new(p, q, beta).expect("learner");
+                        for (x, t) in &samples {
+                            learner.absorb(x, t).expect("absorb");
+                        }
+                        learner.refit().expect("refit")
+                    })
+                });
+                for (got, want) in w.as_slice().iter().zip(bw.as_slice()) {
+                    prop_assert!(
+                        (got - want).abs() < 1e-9,
+                        "w_out {got} vs {want} (policy {policy:?}, threads {threads})"
+                    );
+                }
+                for (got, want) in b.iter().zip(&bb) {
+                    prop_assert!(
+                        (got - want).abs() < 1e-9,
+                        "bias {got} vs {want} (policy {policy:?}, threads {threads})"
+                    );
+                }
+                answers.push((w, b));
+            }
+        }
+        // The incremental path is sequential scalar code: execution
+        // configuration must not change a single bit.
+        for (w, b) in &answers[1..] {
+            prop_assert_eq!(w, &answers[0].0);
+            prop_assert_eq!(b, &answers[0].1);
+        }
+    }
+
+    /// Absorbing a superset and retracting a random subset (in a random
+    /// interleaved order) lands exactly on the batch fit of the kept
+    /// samples — the up/downdate round trip at the system level.
+    #[test]
+    fn online_retraction_round_trips_to_the_kept_set(
+        seed in 0u64..1000,
+        n_keep in 6usize..16,
+        n_drop in 1usize..6,
+        p in 3usize..7,
+    ) {
+        let (q, beta) = (2usize, 1e-3);
+        let keep: Vec<_> = (0..n_keep as u64)
+            .map(|i| online_sample(i.wrapping_add(seed * 31), p, q))
+            .collect();
+        let drop: Vec<_> = (0..n_drop as u64)
+            .map(|i| online_sample(i.wrapping_add(seed * 31 + 1000), p, q))
+            .collect();
+        let mut learner = OnlineRidge::new(p, q, beta).expect("learner");
+        for (x, t) in keep.iter().chain(&drop) {
+            learner.absorb(x, t).expect("absorb");
+        }
+        // Retract in an order decided by the seed (forward or reverse).
+        let retract: Vec<_> = if seed % 2 == 0 {
+            drop.iter().collect()
+        } else {
+            drop.iter().rev().collect()
+        };
+        for (x, t) in retract {
+            learner.retract(x, t).expect("retract");
+        }
+        prop_assert!(!learner.factor_stale(), "round trip must keep the factor live");
+        let (w, b) = learner.refit().expect("refit");
+        let (bw, bb) = online_batch_fit(&keep, beta);
+        for (got, want) in w.as_slice().iter().zip(bw.as_slice()) {
+            prop_assert!((got - want).abs() < 1e-9, "w_out {got} vs {want}");
+        }
+        for (got, want) in b.iter().zip(&bb) {
+            prop_assert!((got - want).abs() < 1e-9, "bias {got} vs {want}");
+        }
+    }
+
+    /// Retracting a sample that was never absorbed can drive the system
+    /// indefinite: the downdate must fail *typed*, leave the learner
+    /// serviceable (escalated refit still answers finite weights), and
+    /// never panic — for any rogue vector scale.
+    #[test]
+    fn online_indefinite_retraction_escalates_not_poisons(
+        seed in 0u64..1000,
+        scale in 2.0f64..50.0,
+    ) {
+        let (p, q, beta) = (4usize, 2usize, 1e-4);
+        let mut learner = OnlineRidge::new(p, q, beta).expect("learner");
+        for i in 0..6u64 {
+            let (x, t) = online_sample(i.wrapping_add(seed), p, q);
+            learner.absorb(&x, &t).expect("absorb");
+        }
+        let (mut rogue, t) = online_sample(seed ^ 0xdead_beef, p, q);
+        for v in &mut rogue {
+            *v *= scale;
+        }
+        // The retraction itself must not panic; whether it succeeds
+        // depends on the geometry, but a large enough rogue vector makes
+        // the downdated system indefinite and marks the factor stale.
+        let _ = learner.retract(&rogue, &t);
+        let (w, b) = learner.refit().expect("escalated refit must answer");
+        prop_assert!(w.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(b.iter().all(|v| v.is_finite()));
     }
 }
 

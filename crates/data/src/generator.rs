@@ -19,9 +19,9 @@ use std::f64::consts::TAU;
 /// Number of harmonic components per class prototype.
 const HARMONICS: usize = 3;
 /// Standard deviation of the per-sample phase jitter (radians).
-const PHASE_JITTER: f64 = 0.25;
+pub(crate) const PHASE_JITTER: f64 = 0.25;
 /// Standard deviation of the per-sample relative amplitude jitter.
-const AMP_JITTER: f64 = 0.12;
+pub(crate) const AMP_JITTER: f64 = 0.12;
 
 /// Options controlling dataset generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -43,7 +43,7 @@ struct Harmonic {
 
 /// The deterministic prototype of one (class, channel) pair.
 #[derive(Debug, Clone)]
-struct Prototype {
+pub(crate) struct Prototype {
     harmonics: [Harmonic; HARMONICS],
     /// Linear trend slope over the normalised time axis.
     trend: f64,
@@ -52,7 +52,7 @@ struct Prototype {
 }
 
 impl Prototype {
-    fn draw<R: Rng>(rng: &mut R) -> Self {
+    pub(crate) fn draw<R: Rng>(rng: &mut R) -> Self {
         let mut harmonics = [Harmonic {
             freq: 0.0,
             amp: 0.0,
@@ -70,9 +70,29 @@ impl Prototype {
         }
     }
 
+    /// Element-wise linear interpolation toward `other` at weight
+    /// `w ∈ [0, 1]` — the continuous morph the drifting stream family
+    /// (`crate::drift`) rides: every harmonic's frequency, amplitude and
+    /// phase plus the trend and offset move together, so the class-
+    /// conditional statistics shift smoothly with `w`.
+    pub(crate) fn lerp(&self, other: &Prototype, w: f64) -> Prototype {
+        let mix = |a: f64, b: f64| a + w * (b - a);
+        let mut harmonics = self.harmonics;
+        for (h, o) in harmonics.iter_mut().zip(&other.harmonics) {
+            h.freq = mix(h.freq, o.freq);
+            h.amp = mix(h.amp, o.amp);
+            h.phase = mix(h.phase, o.phase);
+        }
+        Prototype {
+            harmonics,
+            trend: mix(self.trend, other.trend),
+            offset: mix(self.offset, other.offset),
+        }
+    }
+
     /// Evaluates the prototype at normalised time `tau ∈ [0, 1)` with the
     /// given per-sample jitters.
-    fn eval(&self, tau: f64, phase_jitter: f64, amp_scale: f64) -> f64 {
+    pub(crate) fn eval(&self, tau: f64, phase_jitter: f64, amp_scale: f64) -> f64 {
         let mut v = self.offset + self.trend * tau;
         for h in &self.harmonics {
             v += amp_scale * h.amp * (TAU * h.freq * tau + h.phase + phase_jitter).sin();

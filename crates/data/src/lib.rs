@@ -27,6 +27,7 @@
 
 mod dataset;
 mod degenerate;
+mod drift;
 mod error;
 pub mod generator;
 pub mod narma;
@@ -36,6 +37,7 @@ mod spec;
 
 pub use dataset::{Dataset, Sample};
 pub use degenerate::{degenerate_dataset, Degeneracy};
+pub use drift::{drifting_stream, DriftKind};
 pub use error::DataError;
 pub use generator::{generate, GeneratorOptions};
 pub use spec::{paper_dataset, paper_dataset_with, DatasetSpec, PaperDataset};

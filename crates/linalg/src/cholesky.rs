@@ -42,6 +42,11 @@ pub struct Cholesky {
     /// Packing scratch for the blocked trailing update, recycled across
     /// refactorisations (the β-sweep refactors once per candidate).
     ws: GemmWorkspace,
+    /// Pre-mutation snapshot of `l` taken by the rank-1 up/downdates so a
+    /// mid-recurrence failure (induced indefiniteness, overflow) can
+    /// restore the factor instead of leaving it half-rotated. Same `O(n²)`
+    /// cost order as the recurrence itself; storage recycled across calls.
+    snap: Matrix,
 }
 
 /// Equality is the factor itself; packing scratch carries no identity.
@@ -76,7 +81,52 @@ impl Cholesky {
         Cholesky {
             l: Matrix::zeros(0, 0),
             ws: GemmWorkspace::new(),
+            snap: Matrix::zeros(0, 0),
         }
+    }
+
+    /// The factor of `diag · I` (that is, `L = √diag · I`) — the seed an
+    /// incremental learner starts from: the ridge system `βI + Σ φφᵀ`
+    /// begins at `βI` with zero samples absorbed.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `n == 0`.
+    /// * [`LinalgError::NonFinite`] if `diag` is not finite.
+    /// * [`LinalgError::NotPositiveDefinite`] if `diag ≤ 0`.
+    pub fn scaled_identity(n: usize, diag: f64) -> Result<Self, LinalgError> {
+        let mut out = Cholesky::empty();
+        Cholesky::scaled_identity_into(n, diag, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Cholesky::scaled_identity`] writing into a caller-owned
+    /// factorisation, reusing its storage — the allocation-free form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::scaled_identity`].
+    pub fn scaled_identity_into(
+        n: usize,
+        diag: f64,
+        out: &mut Cholesky,
+    ) -> Result<(), LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "cholesky" });
+        }
+        if !diag.is_finite() {
+            return Err(LinalgError::NonFinite { op: "cholesky" });
+        }
+        if diag <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+        }
+        out.l.resize(n, n);
+        out.l.fill_zero();
+        let d = diag.sqrt();
+        for i in 0..n {
+            out.l[(i, i)] = d;
+        }
+        Ok(())
     }
 
     /// [`Cholesky::factor`] writing into a caller-owned factorisation,
@@ -269,6 +319,159 @@ impl Cholesky {
             for xi in out.row_mut(i) {
                 *xi /= lii;
             }
+        }
+        Ok(())
+    }
+
+    /// Validates a rank-1 vector against this factor and copies it into
+    /// `work` (the recurrences consume it destructively). Shared prologue
+    /// of [`Cholesky::rank1_update`] / [`Cholesky::rank1_downdate`].
+    fn rank1_prologue(
+        &mut self,
+        x: &[f64],
+        work: &mut Vec<f64>,
+        op: &'static str,
+    ) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if n == 0 {
+            return Err(LinalgError::Empty { op });
+        }
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite { op });
+        }
+        work.clear();
+        work.extend_from_slice(x);
+        // Snapshot before the first rotation touches `l`: any failure path
+        // below restores from here, so callers never observe a factor with
+        // some columns rotated and the rest stale.
+        self.snap.copy_from(&self.l);
+        Ok(())
+    }
+
+    /// Replaces this factor of `A` with the factor of `A + x·xᵀ` in
+    /// `O(n²)` via Givens rotations (LINPACK `dchud`) — the incremental
+    /// learner's per-sample absorb, versus the `O(n³/3)` refactorisation.
+    ///
+    /// Column `k` applies the rotation `r = √(L[k][k]² + w[k]²)`,
+    /// `c = r/L[k][k]`, `s = w[k]/L[k][k]`, then for `i > k`:
+    /// `L[i][k] ← (L[i][k] + s·w[i])/c`, `w[i] ← c·w[i] − s·L[i][k]`.
+    /// An update of an SPD factor cannot induce indefiniteness, so the
+    /// only runtime failure is f64 overflow — detected per column and
+    /// answered by restoring the pre-call factor.
+    ///
+    /// `work` is caller-owned scratch (resized to `dim()`, allocation
+    /// reused across calls — an online absorb loop updates once per
+    /// sample and stays allocation-free after warm-up).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if the factor is the
+    ///   [`Cholesky::empty`] placeholder.
+    /// * [`LinalgError::ShapeMismatch`] if `x.len() != self.dim()`.
+    /// * [`LinalgError::NonFinite`] if `x` carries a non-finite value
+    ///   (checked before mutation) or the rotations overflow (factor
+    ///   restored). The factor is unchanged in every error case.
+    pub fn rank1_update(&mut self, x: &[f64], work: &mut Vec<f64>) -> Result<(), LinalgError> {
+        self.rank1_prologue(x, work, "rank1_update")?;
+        let n = self.dim();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let wk = work[k];
+            let r = (lkk * lkk + wk * wk).sqrt();
+            if !r.is_finite() {
+                self.l.copy_from(&self.snap);
+                return Err(LinalgError::NonFinite { op: "rank1_update" });
+            }
+            let c = r / lkk;
+            let s = wk / lkk;
+            self.l[(k, k)] = r;
+            for (i, wi) in work.iter_mut().enumerate().skip(k + 1) {
+                let lik = (self.l[(i, k)] + s * *wi) / c;
+                self.l[(i, k)] = lik;
+                *wi = c * *wi - s * lik;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces this factor of `A` with the factor of `A − x·xᵀ` in
+    /// `O(n²)` via hyperbolic rotations (LINPACK `dchdd` semantics) — the
+    /// forgetting half of an online learner's sliding window.
+    ///
+    /// Column `k` forms `r² = (L[k][k] − w[k])·(L[k][k] + w[k])` (the
+    /// difference-of-squares form, more accurate than `L[k][k]² − w[k]²`
+    /// when the two magnitudes are close); `r² ≤ 0` means `A − x·xᵀ` has
+    /// lost positive definiteness — a *typed* failure, never a poisoned
+    /// factor: the pre-call factor is restored before returning, and the
+    /// caller escalates through [`crate::solver::SolverPolicy`] to a full
+    /// QR/SVD refactorisation of the explicitly-maintained system matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] / [`LinalgError::ShapeMismatch`] /
+    ///   [`LinalgError::NonFinite`] as for [`Cholesky::rank1_update`].
+    /// * [`LinalgError::NotPositiveDefinite`] with the failing column as
+    ///   `pivot` if the downdate would leave the matrix indefinite or
+    ///   semidefinite. The factor is unchanged in every error case.
+    pub fn rank1_downdate(&mut self, x: &[f64], work: &mut Vec<f64>) -> Result<(), LinalgError> {
+        self.rank1_prologue(x, work, "rank1_downdate")?;
+        let n = self.dim();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let wk = work[k];
+            let r2 = (lkk - wk) * (lkk + wk);
+            if !r2.is_finite() {
+                self.l.copy_from(&self.snap);
+                return Err(LinalgError::NonFinite {
+                    op: "rank1_downdate",
+                });
+            }
+            if r2 <= 0.0 {
+                self.l.copy_from(&self.snap);
+                return Err(LinalgError::NotPositiveDefinite { pivot: k });
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = wk / lkk;
+            self.l[(k, k)] = r;
+            for (i, wi) in work.iter_mut().enumerate().skip(k + 1) {
+                let lik = (self.l[(i, k)] - s * *wi) / c;
+                self.l[(i, k)] = lik;
+                *wi = c * *wi - s * lik;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rescales the factored matrix: `A ← factor · A`, i.e.
+    /// `L ← √factor · L` — the exponential-forgetting decay of an online
+    /// learner (`S ← λS` each absorb, classic RLS semantics).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NonFinite`] if `factor` is not finite.
+    /// * [`LinalgError::NotPositiveDefinite`] if `factor ≤ 0` (the scaled
+    ///   matrix would not be positive definite). The factor is unchanged
+    ///   on error.
+    pub fn scale(&mut self, factor: f64) -> Result<(), LinalgError> {
+        if !factor.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "cholesky_scale",
+            });
+        }
+        if factor <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+        }
+        let s = factor.sqrt();
+        for v in self.l.as_mut_slice() {
+            *v *= s;
         }
         Ok(())
     }
@@ -573,6 +776,177 @@ mod tests {
         assert_eq!(c.rcond_1_est(0.0, &mut work), 0.0);
         assert_eq!(c.rcond_1_est(f64::NAN, &mut work), 0.0);
         assert_eq!(Cholesky::empty().rcond_1_est(1.0, &mut work), 0.0);
+    }
+
+    /// `L` of the factor reconstructed as `L·Lᵀ`, for tolerance checks.
+    fn reconstruct(c: &Cholesky) -> Matrix {
+        c.factor_l().matmul_t(c.factor_l()).unwrap()
+    }
+
+    #[test]
+    fn rank1_update_matches_refactor() {
+        // Hand-checked 2×2: A=[[4,2],[2,3]] + [1,1]·[1,1]ᵀ = [[5,3],[3,4]].
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let mut c = Cholesky::factor(&a).unwrap();
+        let mut work = Vec::new();
+        c.rank1_update(&[1.0, 1.0], &mut work).unwrap();
+        let rec = reconstruct(&c);
+        let want = Matrix::from_rows(&[&[5.0, 3.0], &[3.0, 4.0]]).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+        // 3×3 against a from-scratch refactor of A + xxᵀ.
+        let a = spd3();
+        let x = [0.5, -1.25, 2.0];
+        let mut c = Cholesky::factor(&a).unwrap();
+        c.rank1_update(&x, &mut work).unwrap();
+        let mut axx = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                axx[(i, j)] += x[i] * x[j];
+            }
+        }
+        let fresh = Cholesky::factor(&axx).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.factor_l()[(i, j)] - fresh.factor_l()[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn update_then_downdate_round_trips() {
+        let a = spd3();
+        let before = Cholesky::factor(&a).unwrap();
+        let mut c = before.clone();
+        let mut work = Vec::new();
+        let x = [1.5, -0.75, 0.25];
+        c.rank1_update(&x, &mut work).unwrap();
+        c.rank1_downdate(&x, &mut work).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.factor_l()[(i, j)] - before.factor_l()[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // And the opposite order: downdate a vector A dominates, re-update.
+        let mut c = before.clone();
+        let y = [0.4, 0.1, -0.2];
+        c.rank1_downdate(&y, &mut work).unwrap();
+        c.rank1_update(&y, &mut work).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.factor_l()[(i, j)] - before.factor_l()[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_downdate_is_typed_and_restores() {
+        // Downdating I by 2·e₀ would give diag(-3, 1): indefinite.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let mut c = Cholesky::factor(&a).unwrap();
+        let before = c.clone();
+        let mut work = Vec::new();
+        let err = c.rank1_downdate(&[2.0, 0.0], &mut work).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 0 }));
+        assert_eq!(c, before, "failed downdate must leave the factor intact");
+        // Failure *past* the first column restores the already-rotated
+        // columns too — the snapshot guarantee, bitwise.
+        let a = spd3();
+        let mut c = Cholesky::factor(&a).unwrap();
+        let before = c.clone();
+        let err = c.rank1_downdate(&[0.0, 0.0, 10.0], &mut work).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 2 }));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn rank1_rejects_bad_inputs_without_mutation() {
+        let mut c = Cholesky::factor(&spd3()).unwrap();
+        let before = c.clone();
+        let mut work = Vec::new();
+        assert!(matches!(
+            c.rank1_update(&[1.0], &mut work).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            c.rank1_downdate(&[1.0, f64::NAN, 0.0], &mut work)
+                .unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        assert!(matches!(
+            c.rank1_update(&[f64::INFINITY, 0.0, 0.0], &mut work)
+                .unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        assert_eq!(c, before);
+        let mut empty = Cholesky::empty();
+        assert!(matches!(
+            empty.rank1_update(&[], &mut work).unwrap_err(),
+            LinalgError::Empty { .. }
+        ));
+        // Overflowing rotations restore the factor and answer NonFinite.
+        let mut c = Cholesky::factor(&spd3()).unwrap();
+        let before = c.clone();
+        assert!(matches!(
+            c.rank1_update(&[f64::MAX.sqrt() * 2.0, 0.0, 0.0], &mut work)
+                .unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn scale_matches_refactor_of_scaled_matrix() {
+        let a = spd3();
+        let mut c = Cholesky::factor(&a).unwrap();
+        c.scale(0.25).unwrap();
+        let mut sa = a.clone();
+        for v in sa.as_mut_slice() {
+            *v *= 0.25;
+        }
+        let fresh = Cholesky::factor(&sa).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.factor_l()[(i, j)] - fresh.factor_l()[(i, j)]).abs() < 1e-12);
+            }
+        }
+        let before = c.clone();
+        assert!(matches!(
+            c.scale(0.0).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+        assert!(matches!(
+            c.scale(f64::NAN).unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn scaled_identity_is_the_beta_seed() {
+        let c = Cholesky::scaled_identity(3, 4.0).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 2.0 } else { 0.0 };
+                assert_eq!(c.factor_l()[(i, j)], want);
+            }
+        }
+        // Bitwise equal to factoring diag(4) directly.
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = 4.0;
+        }
+        assert_eq!(c, Cholesky::factor(&d).unwrap());
+        assert!(Cholesky::scaled_identity(0, 1.0).is_err());
+        assert!(Cholesky::scaled_identity(2, 0.0).is_err());
+        assert!(Cholesky::scaled_identity(2, f64::INFINITY).is_err());
+        // The `_into` form reuses storage and matches.
+        let mut out = Cholesky::factor(&spd3()).unwrap();
+        Cholesky::scaled_identity_into(3, 4.0, &mut out).unwrap();
+        assert_eq!(out, c);
     }
 
     #[test]

@@ -342,9 +342,20 @@ impl<'a> RidgePlan<'a> {
     }
 }
 
-/// One policy-driven solve of `sys·out = b`: the escalation state machine.
+/// One policy-driven solve of `sys·out = b`: the §15 escalation state
+/// machine (Cholesky + rcond vet → QR → SVD under [`SolverPolicy::Auto`],
+/// exactly one rung under [`SolverPolicy::Fixed`]).
+///
+/// Exposed so other solve drivers — notably the incremental
+/// `dfr-core::online` refit, whose fast path is a rank-1-maintained factor
+/// rather than a fresh one — escalate with *identical* semantics and
+/// [`SolverReport`] bookkeeping instead of re-implementing the ladder.
+/// `chol`/`qr`/`svd`/`cond` are caller-owned scratch, factored into only
+/// by the rungs that actually run; `report.used`/`escalated`/`rcond` are
+/// filled in, `report.error` is left to the caller (who may have more
+/// rungs of its own).
 #[allow(clippy::too_many_arguments)]
-fn solve_policy(
+pub fn solve_policy(
     policy: SolverPolicy,
     report: &mut SolverReport,
     sys: &Matrix,

@@ -24,6 +24,12 @@ pub enum ReservoirError {
         /// Input step at which the divergence was detected.
         step: usize,
     },
+    /// The input series has no time steps: there is no trajectory to run
+    /// and the `1/T` feature normalisation is undefined, so both the
+    /// training-side streaming forward and the serving-side feature
+    /// kernel reject 0-row inputs with this typed error instead of
+    /// emitting a bias-only prediction.
+    EmptySeries,
 }
 
 impl fmt::Display for ReservoirError {
@@ -41,6 +47,9 @@ impl fmt::Display for ReservoirError {
             }
             ReservoirError::Diverged { step } => {
                 write!(f, "reservoir state diverged at input step {step}")
+            }
+            ReservoirError::EmptySeries => {
+                write!(f, "input series has no time steps")
             }
         }
     }
@@ -73,6 +82,10 @@ mod tests {
         assert_eq!(
             ReservoirError::Diverged { step: 9 }.to_string(),
             "reservoir state diverged at input step 9"
+        );
+        assert_eq!(
+            ReservoirError::EmptySeries.to_string(),
+            "input series has no time steps"
         );
     }
 }

@@ -403,6 +403,14 @@ impl FrozenModel {
                 input_channels: series.cols(),
             });
         }
+        if series.rows() == 0 {
+            // Same contract as the training-side streaming forward: no
+            // trajectory, undefined 1/T scaling — a typed rejection, not a
+            // silent bias-only prediction. The network framing layer
+            // already refuses to decode a 0-row series, so in-process
+            // callers are the audience here.
+            return Err(ReservoirError::EmptySeries);
+        }
         let input = match &self.norm {
             Some((means, stds)) => {
                 normalized.resize(series.rows(), series.cols());
@@ -423,7 +431,7 @@ impl FrozenModel {
             .expect("channel count checked above");
         run_frozen_into(self.a, self.b, &Linear, masked, states)?;
         Dprr.features_into(states, out);
-        let scale = 1.0 / (states.rows().max(1) as f64);
+        let scale = 1.0 / (states.rows() as f64);
         for f in out.iter_mut() {
             *f *= scale;
         }
@@ -540,6 +548,40 @@ mod tests {
                 other => panic!("unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn empty_series_sample_is_typed_rejection() {
+        // t_len = 0 is a client bug, not a bias-only prediction; t_len = 1
+        // is the boundary that must keep serving.
+        let (model, frozen) = frozen();
+        let mut ws = ServeWorkspace::new();
+        let err = frozen
+            .predict_one(&Matrix::zeros(0, 2), &mut ws)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Sample {
+                    index: 0,
+                    source: ReservoirError::EmptySeries
+                }
+            ),
+            "{err:?}"
+        );
+        let mut series = workload(6);
+        series[3] = Matrix::zeros(0, 2);
+        let err = frozen.predict_batch(&series).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Sample {
+                index: 3,
+                source: ReservoirError::EmptySeries
+            }
+        ));
+        let one_step = Matrix::from_vec(1, 2, vec![0.4, -0.3]).unwrap();
+        let pred = frozen.predict_one(&one_step, &mut ws).unwrap();
+        assert_eq!(pred, model.forward(&one_step).unwrap().prediction());
     }
 
     #[test]

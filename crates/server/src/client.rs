@@ -9,8 +9,9 @@
 //! a `retry_after_ms` hint instead of queueing unboundedly — so the
 //! client carries the matching retry discipline:
 //! [`Client::call_with_retry`] backs off with seeded, jittered
-//! exponential delays (never below the server's hint) until the request
-//! is admitted or [`RetryPolicy::max_attempts`] is spent.
+//! exponential delays (never below the server's hint, with both bounded
+//! by [`RetryPolicy::cap`]) until the request is admitted or
+//! [`RetryPolicy::max_attempts`] is spent.
 
 use crate::error::ServerError;
 use crate::frame::{decode_response, read_frame, Request, Response, Status, DEFAULT_MAX_BODY};
@@ -24,10 +25,13 @@ use std::time::Duration;
 /// Backoff discipline for [`Client::call_with_retry`].
 ///
 /// Attempt `k` (counting from 0) that is rejected `Busy` sleeps
-/// `max(hint, base · 2^k · jitter)` where `hint` is the server's
-/// `retry_after_ms`, the exponential is capped at [`cap`](Self::cap),
-/// and `jitter` is drawn uniformly from `[0.5, 1.0]` so a herd of
-/// clients rejected together does not retry together.
+/// `max(min(hint, cap), base · 2^k · jitter)` where `hint` is the
+/// server's `retry_after_ms`, the exponential is capped at
+/// [`cap`](Self::cap), and `jitter` is drawn uniformly from `[0.5, 1.0]`
+/// so a herd of clients rejected together does not retry together. Every
+/// sleep is bounded by `cap`: the hint is honored as a floor only up to
+/// the cap, so a buggy or hostile server cannot schedule an unbounded
+/// (`u32::MAX` ms ≈ 49-day) client sleep.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total attempts before the last `Busy` rejection is returned to
@@ -35,8 +39,8 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// First backoff step. Default 1 ms.
     pub base: Duration,
-    /// Upper bound on the exponential step (the server hint may still
-    /// exceed it). Default 100 ms.
+    /// Upper bound on every backoff sleep — the exponential step *and*
+    /// the server hint are both clamped through it. Default 100 ms.
     pub cap: Duration,
     /// Seed for the jitter stream; mixed with the request id so every
     /// retried request jitters independently but reproducibly. Default 0.
@@ -55,15 +59,128 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The jittered backoff before retrying attempt `attempt` (0-based),
-    /// honoring the server's `retry_after_ms` hint as a floor.
-    fn backoff(&self, attempt: u32, hint_ms: u32, rng: &mut StdRng) -> Duration {
-        let exp = self
-            .base
+    /// The capped exponential step for attempt `attempt` (0-based):
+    /// `min(base · 2^attempt, cap)`.
+    fn exp_step(&self, attempt: u32) -> Duration {
+        self.base
             .saturating_mul(1u32 << attempt.min(16))
-            .min(self.cap);
-        let jittered = exp.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
-        jittered.max(Duration::from_millis(u64::from(hint_ms)))
+            .min(self.cap)
+    }
+
+    /// The server's `retry_after_ms` hint clamped through the cap — the
+    /// floor every backoff honors. Clamping is the overflow fix: the
+    /// pre-clamp hint is attacker-controlled `u32` milliseconds, and an
+    /// unclamped floor turned one hostile `Busy` frame into a ~49-day
+    /// sleep.
+    fn hint_floor(&self, hint_ms: u32) -> Duration {
+        Duration::from_millis(u64::from(hint_ms)).min(self.cap)
+    }
+
+    /// The deterministic (pre-jitter) backoff for attempt `attempt` given
+    /// a server hint: `max(min(base · 2^attempt, cap), min(hint, cap))`.
+    ///
+    /// Monotone non-decreasing in `attempt`, never above
+    /// [`cap`](Self::cap), and floored at the capped hint — the
+    /// properties the regression suite pins. The sleep actually taken by
+    /// [`Client::call_with_retry`] scales the exponential part by a
+    /// jitter in `[0.5, 1.0]`, which can only stay at or below this
+    /// value (and never below the hint floor).
+    pub fn step(&self, attempt: u32, hint_ms: u32) -> Duration {
+        self.exp_step(attempt).max(self.hint_floor(hint_ms))
+    }
+
+    /// The jittered backoff before retrying attempt `attempt` (0-based),
+    /// honoring the server's `retry_after_ms` hint as a floor up to the
+    /// cap.
+    fn backoff(&self, attempt: u32, hint_ms: u32, rng: &mut StdRng) -> Duration {
+        let jittered = self.exp_step(attempt).mul_f64(0.5 + 0.5 * rng.gen::<f64>());
+        jittered.max(self.hint_floor(hint_ms))
+    }
+}
+
+#[cfg(test)]
+mod retry_policy_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// At every attempt count and for every hint — including hints
+        /// far beyond the cap — the deterministic step is monotone
+        /// non-decreasing in the attempt, never above `cap`, and floored
+        /// at `min(hint, cap)`; the jittered sleep obeys the same bounds
+        /// and can only shrink the exponential part.
+        #[test]
+        fn backoff_is_monotone_capped_and_hint_floored(
+            base_ms in 1u64..50,
+            cap_ms in 1u64..5_000,
+            hint_ms in 0u32..u32::MAX,
+            seed in 0u64..1_000,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_millis(base_ms),
+                cap: Duration::from_millis(cap_ms),
+                seed,
+            };
+            let floor = Duration::from_millis(u64::from(hint_ms)).min(policy.cap);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prev = Duration::ZERO;
+            for attempt in 0..40u32 {
+                let step = policy.step(attempt, hint_ms);
+                prop_assert!(
+                    step <= policy.cap,
+                    "attempt {}: step {:?} above cap {:?}", attempt, step, policy.cap
+                );
+                prop_assert!(
+                    step >= floor,
+                    "attempt {}: step {:?} below hint floor {:?}", attempt, step, floor
+                );
+                prop_assert!(
+                    step >= prev,
+                    "attempt {}: step {:?} not monotone (prev {:?})", attempt, step, prev
+                );
+                prev = step;
+
+                let slept = policy.backoff(attempt, hint_ms, &mut rng);
+                prop_assert!(slept <= policy.cap, "sleep {:?} above cap {:?}", slept, policy.cap);
+                prop_assert!(slept >= floor, "sleep {:?} below hint floor {:?}", slept, floor);
+                prop_assert!(slept <= step, "jitter may only shrink the step");
+            }
+        }
+    }
+
+    /// Regression for the overflow the audit found: a hostile
+    /// `retry_after_ms` of `u32::MAX` used to become the sleep verbatim
+    /// (~49.7 days) because the hint floor was applied *after* the cap.
+    /// The hint is now clamped through the cap before flooring.
+    #[test]
+    fn hostile_retry_hint_cannot_exceed_cap() {
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for attempt in 0..40 {
+            let slept = policy.backoff(attempt, u32::MAX, &mut rng);
+            assert!(
+                slept <= policy.cap,
+                "attempt {attempt}: hostile hint slept {slept:?}, cap {:?}",
+                policy.cap
+            );
+            assert_eq!(policy.step(attempt, u32::MAX), policy.cap);
+        }
+    }
+
+    /// The shift in the exponential step saturates instead of
+    /// overflowing once `2^attempt` no longer fits: attempts beyond 16
+    /// keep returning the same capped step.
+    #[test]
+    fn deep_attempt_counts_saturate() {
+        let policy = RetryPolicy::default();
+        let deep = policy.step(16, 0);
+        for attempt in 17..64 {
+            assert_eq!(policy.step(attempt, 0), deep);
+        }
+        assert_eq!(policy.step(u32::MAX, 0), deep);
     }
 }
 

@@ -23,6 +23,12 @@
 //!   changes bytes: responses are bitwise identical to calling the
 //!   session directly, pinned by the loopback suite in
 //!   `tests/loopback.rs`.
+//! * [`OnlinePublisher`] — the continual-learning loop: absorbs labelled
+//!   series into `dfr-core`'s rank-1
+//!   [`OnlineRidge`](dfr_core::online::OnlineRidge) learner and on a
+//!   configurable cadence refits, refreezes and
+//!   [`ModelRegistry::publish`]es — live traffic hot-swaps onto the new
+//!   readout at the next batch boundary.
 //! * [`Client`] — a small blocking client used by the tests and the
 //!   `server_bench` load generator, with built-in jittered-backoff
 //!   retry ([`Client::call_with_retry`]) honoring the server's
@@ -73,6 +79,7 @@ pub mod frame;
 
 mod client;
 mod error;
+mod publisher;
 mod queue;
 mod registry;
 mod server;
@@ -81,6 +88,7 @@ pub use client::{Client, ClientPrediction, RetryPolicy};
 pub use error::ServerError;
 pub use faults::{FaultPlan, FaultSpec, INJECTED_PANIC};
 pub use frame::{Status, DEFAULT_MAX_BODY, PROTOCOL_VERSION};
+pub use publisher::{OnlinePublisher, PublisherConfig};
 pub use queue::{AdmissionQueue, AdmitError};
 pub use registry::{ModelRegistry, PersistReport};
 pub use server::{Server, ServerConfig, StatsSnapshot};

@@ -1,0 +1,347 @@
+//! The online-learning publisher: a continual-learning loop that absorbs
+//! labelled series into an [`OnlineRidge`] learner and periodically
+//! refreezes + hot-swaps the serving model.
+//!
+//! The loop closes the gap between `dfr-core`'s rank-1 incremental
+//! readout refit and `dfr-server`'s [`ModelRegistry`]: each absorbed
+//! sample costs `O(p²)` (one streaming forward pass for features, one
+//! rank-1 Cholesky update), and on a configurable cadence the learner
+//! refits the readout (`O(p²q)` off a warm factor), refreezes the
+//! classifier and [`ModelRegistry::publish`]es the result. Live traffic
+//! picks the new model up at the next batch boundary through the
+//! registry's existing atomic hot-swap — the publisher never touches the
+//! serving path directly, so serving stays bit-identical between
+//! publishes.
+//!
+//! The publisher is deliberately single-threaded state: run it on its
+//! own thread next to a [`Server`](crate::Server) sharing the same
+//! `Arc<ModelRegistry>` (the chaos soak does exactly this under fault
+//! injection).
+
+use crate::registry::ModelRegistry;
+use dfr_core::online::OnlineRidge;
+use dfr_core::streaming::{StreamingCache, StreamingForward};
+use dfr_core::{CoreError, DfrClassifier};
+use dfr_linalg::Matrix;
+use dfr_serve::FrozenModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Publish cadence for an [`OnlinePublisher`].
+#[derive(Debug, Clone, Copy)]
+pub struct PublisherConfig {
+    /// Publish after this many newly absorbed samples (0 is clamped
+    /// to 1). Default 32.
+    pub publish_every: usize,
+    /// Minimum wall-clock spacing between publishes — a flood of samples
+    /// cannot thrash the registry faster than this. Default 0 (cadence
+    /// is sample-driven only).
+    pub min_interval: Duration,
+}
+
+impl Default for PublisherConfig {
+    fn default() -> Self {
+        PublisherConfig {
+            publish_every: 32,
+            min_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// A continual learner that feeds absorbed samples into an
+/// [`OnlineRidge`] and periodically publishes a refrozen model to a
+/// shared [`ModelRegistry`].
+///
+/// All buffers (streaming cache, refit scratch, the classifier's own
+/// readout) are owned and reused, so the steady-state absorb → refit →
+/// freeze → publish loop performs no per-sample allocation beyond the
+/// frozen model's byte layout at publish time.
+pub struct OnlinePublisher {
+    model: DfrClassifier,
+    forward: StreamingForward,
+    cache: StreamingCache,
+    learner: OnlineRidge,
+    registry: Arc<ModelRegistry>,
+    config: PublisherConfig,
+    since_publish: usize,
+    last_publish: Option<Instant>,
+    published: u64,
+    w_out: Matrix,
+    bias: Vec<f64>,
+}
+
+impl OnlinePublisher {
+    /// Creates a publisher around `model`, learning its readout online
+    /// with ridge strength `beta` and publishing into `registry`.
+    ///
+    /// The learner starts from the ridge prior (`βI`), **not** from the
+    /// model's current readout: the first publish reflects only absorbed
+    /// samples. Use [`forgetting`](OnlinePublisher::with_forgetting) for
+    /// drifting streams.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for a non-positive or non-finite
+    /// `beta` (propagated from [`OnlineRidge::new`]).
+    pub fn new(
+        model: DfrClassifier,
+        beta: f64,
+        registry: Arc<ModelRegistry>,
+        config: PublisherConfig,
+    ) -> Result<Self, CoreError> {
+        let learner = OnlineRidge::new(model.feature_dim(), model.num_classes(), beta)?;
+        Ok(Self::assemble(model, learner, registry, config))
+    }
+
+    /// As [`new`](OnlinePublisher::new) with an exponential forgetting
+    /// factor `forget ∈ (0, 1]`, so old samples decay and the published
+    /// readout tracks a drifting distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for invalid `beta` or `forget`.
+    pub fn with_forgetting(
+        model: DfrClassifier,
+        beta: f64,
+        forget: f64,
+        registry: Arc<ModelRegistry>,
+        config: PublisherConfig,
+    ) -> Result<Self, CoreError> {
+        let learner =
+            OnlineRidge::with_forgetting(model.feature_dim(), model.num_classes(), beta, forget)?;
+        Ok(Self::assemble(model, learner, registry, config))
+    }
+
+    fn assemble(
+        model: DfrClassifier,
+        learner: OnlineRidge,
+        registry: Arc<ModelRegistry>,
+        config: PublisherConfig,
+    ) -> Self {
+        let (q, p) = (model.num_classes(), model.feature_dim());
+        OnlinePublisher {
+            model,
+            forward: StreamingForward::paper(),
+            cache: StreamingCache::empty(),
+            learner,
+            registry,
+            config,
+            since_publish: 0,
+            last_publish: None,
+            published: 0,
+            w_out: Matrix::zeros(q, p),
+            bias: vec![0.0; q],
+        }
+    }
+
+    /// Absorbs one labelled series: streaming forward pass for the DPRR
+    /// features, then a rank-1 update of the learner. `O(T·N_x² + p²)`,
+    /// allocation-free after the first sample.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Reservoir`] for empty series / channel mismatch /
+    /// divergence, [`CoreError::InvalidConfig`] for a label outside the
+    /// class range. The learner is untouched on error.
+    pub fn absorb(&mut self, series: &Matrix, label: usize) -> Result<(), CoreError> {
+        self.forward
+            .run_into(&self.model, series, &mut self.cache)?;
+        self.learner.absorb_label(&self.cache.features, label)?;
+        self.since_publish += 1;
+        Ok(())
+    }
+
+    /// Publishes a refrozen model if the cadence is due: at least
+    /// [`publish_every`](PublisherConfig::publish_every) samples absorbed
+    /// since the last publish *and*
+    /// [`min_interval`](PublisherConfig::min_interval) elapsed. Returns
+    /// the published digest, or `None` when not due.
+    ///
+    /// # Errors
+    ///
+    /// As [`publish_now`](OnlinePublisher::publish_now).
+    pub fn maybe_publish(&mut self) -> Result<Option<u64>, CoreError> {
+        let due_samples = self.since_publish >= self.config.publish_every.max(1);
+        let due_time = match self.last_publish {
+            None => true,
+            Some(t) => t.elapsed() >= self.config.min_interval,
+        };
+        if !(due_samples && due_time) {
+            return Ok(None);
+        }
+        self.publish_now().map(Some)
+    }
+
+    /// Refits the readout from the learner's current system, refreezes
+    /// the classifier and atomically publishes it, unconditionally.
+    /// Returns the new content digest.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Linalg`] when the refit fails even after escalation
+    /// (QR → SVD) — the registry keeps serving the previous model and the
+    /// learner's state is unchanged, so a later absorb + publish can
+    /// recover.
+    pub fn publish_now(&mut self) -> Result<u64, CoreError> {
+        self.learner.refit_into(&mut self.w_out, &mut self.bias)?;
+        self.model.w_out_mut().copy_from(&self.w_out);
+        self.model.bias_mut().copy_from_slice(&self.bias);
+        let digest = self.registry.publish(FrozenModel::freeze(&self.model));
+        self.since_publish = 0;
+        self.last_publish = Some(Instant::now());
+        self.published += 1;
+        Ok(digest)
+    }
+
+    /// Samples absorbed since the last publish.
+    pub fn pending(&self) -> usize {
+        self.since_publish
+    }
+
+    /// Models published so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// The underlying learner (absorption counters, solver report, …).
+    pub fn learner(&self) -> &OnlineRidge {
+        &self.learner
+    }
+
+    /// The classifier as of the last refit (its readout lags the learner
+    /// by up to [`pending`](OnlinePublisher::pending) samples).
+    pub fn model(&self) -> &DfrClassifier {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_for(label: usize, k: usize) -> Matrix {
+        // Class-dependent amplitude so the readout has signal to learn.
+        let amp = 0.3 + 0.4 * label as f64;
+        Matrix::from_vec(
+            10,
+            2,
+            (0..20)
+                .map(|i| amp * ((i + k) as f64 * 0.7).sin())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn publisher(publish_every: usize) -> OnlinePublisher {
+        let mut model = DfrClassifier::paper_default(4, 2, 2, 7).unwrap();
+        model.reservoir_mut().set_params(0.05, 0.1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(FrozenModel::freeze(&model)));
+        OnlinePublisher::new(
+            model,
+            1e-4,
+            registry,
+            PublisherConfig {
+                publish_every,
+                min_interval: Duration::ZERO,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn publishes_on_the_sample_cadence_and_hot_swaps() {
+        let mut publisher = publisher(4);
+        let registry = Arc::clone(&publisher.registry);
+        let baseline = registry.active_digest();
+
+        for k in 0..3 {
+            publisher.absorb(&series_for(k % 2, k), k % 2).unwrap();
+            assert_eq!(publisher.maybe_publish().unwrap(), None, "not due yet");
+        }
+        assert_eq!(registry.active_digest(), baseline);
+
+        publisher.absorb(&series_for(1, 3), 1).unwrap();
+        let digest = publisher
+            .maybe_publish()
+            .unwrap()
+            .expect("4th sample is due");
+        assert_ne!(digest, baseline, "a trained readout must change the digest");
+        assert_eq!(registry.active_digest(), digest, "publish must hot-swap");
+        assert_eq!(publisher.pending(), 0);
+        assert_eq!(publisher.published(), 1);
+        // The old model stays resolvable for pinned clients.
+        assert!(registry.contains(baseline));
+    }
+
+    #[test]
+    fn published_readout_matches_a_direct_refit() {
+        let mut publisher = publisher(1);
+        let mut learner = OnlineRidge::new(
+            publisher.model.feature_dim(),
+            publisher.model.num_classes(),
+            1e-4,
+        )
+        .unwrap();
+        let forward = StreamingForward::paper();
+        for k in 0..6 {
+            let s = series_for(k % 2, k);
+            let cache = forward.run(publisher.model(), &s).unwrap();
+            learner.absorb_label(&cache.features, k % 2).unwrap();
+            publisher.absorb(&s, k % 2).unwrap();
+        }
+        let digest = publisher.publish_now().unwrap();
+        let (w, b) = learner.refit().unwrap();
+        let thawed = publisher.registry.get(digest).unwrap().thaw().unwrap();
+        assert_eq!(thawed.w_out().as_slice(), w.as_slice());
+        assert_eq!(thawed.bias(), b.as_slice());
+    }
+
+    #[test]
+    fn min_interval_throttles_publishes() {
+        let mut model = DfrClassifier::paper_default(4, 2, 2, 7).unwrap();
+        model.reservoir_mut().set_params(0.05, 0.1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(FrozenModel::freeze(&model)));
+        let mut publisher = OnlinePublisher::new(
+            model,
+            1e-4,
+            registry,
+            PublisherConfig {
+                publish_every: 1,
+                min_interval: Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+
+        publisher.absorb(&series_for(0, 0), 0).unwrap();
+        assert!(
+            publisher.maybe_publish().unwrap().is_some(),
+            "first is free"
+        );
+        publisher.absorb(&series_for(1, 1), 1).unwrap();
+        assert_eq!(
+            publisher.maybe_publish().unwrap(),
+            None,
+            "an hour must pass before the next publish"
+        );
+        assert_eq!(publisher.pending(), 1, "the sample stays pending");
+    }
+
+    #[test]
+    fn absorb_rejects_bad_input_without_corrupting_the_learner() {
+        let mut publisher = publisher(1);
+        publisher.absorb(&series_for(0, 0), 0).unwrap();
+        let absorbed = publisher.learner().absorbed();
+
+        // Empty series: typed rejection from the streaming forward.
+        assert!(publisher.absorb(&Matrix::zeros(0, 2), 0).is_err());
+        // Channel mismatch.
+        assert!(publisher.absorb(&Matrix::zeros(5, 3), 0).is_err());
+        // Label out of range: rejected by the learner before mutation.
+        assert!(publisher.absorb(&series_for(0, 1), 9).is_err());
+
+        assert_eq!(publisher.learner().absorbed(), absorbed);
+        // The loop still works afterwards.
+        publisher.absorb(&series_for(1, 2), 1).unwrap();
+        assert!(publisher.publish_now().is_ok());
+    }
+}

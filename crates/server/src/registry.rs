@@ -181,7 +181,13 @@ impl ModelRegistry {
         let dir = dir.as_ref();
         fs::create_dir_all(dir).map_err(|e| store_err("create store dir", dir, &e))?;
         // Snapshot under the read lock, write outside it: persistence
-        // must not stall admission or hot-swaps.
+        // must not stall admission or hot-swaps. The models AND the
+        // active head must be captured in this single critical section —
+        // reading them under separate lock acquisitions would let a
+        // racing `publish` slip between them, and the persisted `ACTIVE`
+        // head could then name a digest whose model file was never
+        // written (an unloadable store that silently falls back). The
+        // racing publish/persist test below pins this invariant.
         let (models, active) = {
             let inner = self.inner.read().unwrap();
             let models: Vec<Arc<FrozenModel>> = inner.models.values().map(Arc::clone).collect();
@@ -528,6 +534,62 @@ mod tests {
         let (loaded, report) = ModelRegistry::load_from(scratch.path()).unwrap();
         assert!(report.active_fallback);
         assert_eq!(loaded.active_digest(), da);
+    }
+
+    /// Persisting while a publisher thread hot-swaps new models must
+    /// always produce a loadable store whose `ACTIVE` head names a model
+    /// that was actually written: every reload reports
+    /// `active_fallback == false`. This is the single-critical-section
+    /// snapshot invariant in `persist_to` — if the models and the active
+    /// head were read under separate lock acquisitions, a publish
+    /// slipping between them would persist a head pointing at a model
+    /// file that does not exist.
+    #[test]
+    fn persist_racing_publish_never_tears_the_active_head() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let reg = Arc::new(ModelRegistry::new(frozen(0.0)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Cycle a bounded set of distinct models so the store
+                // stays small (persist rewrites every model, fsync'd)
+                // while the active head keeps flipping under persist.
+                let pool: Vec<FrozenModel> =
+                    (0..8).map(|k| frozen(1.0 + k as f64 * 1e-3)).collect();
+                let mut published = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    reg.publish(pool[published as usize % pool.len()].clone());
+                    published += 1;
+                }
+                published
+            })
+        };
+
+        for round in 0..20 {
+            let scratch = ScratchDir::new(&format!("race-{round}"));
+            let persisted = reg.persist_to(scratch.path()).unwrap();
+            assert!(
+                persisted.digests.binary_search(&persisted.active).is_ok(),
+                "persisted head {:016x} must be among the persisted digests",
+                persisted.active
+            );
+            let (loaded, report) = ModelRegistry::load_from(scratch.path()).unwrap();
+            assert!(
+                !report.active_fallback,
+                "round {round}: reloaded head must be the persisted one, not a fallback"
+            );
+            assert_eq!(loaded.active_digest(), persisted.active);
+            // Every persisted model survives the digest-verified reload.
+            assert_eq!(report.digests, persisted.digests);
+            assert!(report.skipped.is_empty(), "skipped: {:?}", report.skipped);
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let published = publisher.join().unwrap();
+        assert!(published > 0, "the publisher must actually have raced");
     }
 
     #[test]

@@ -426,8 +426,13 @@ fn connection_loop(
                     // sample is rejected with a typed `BadInput` *before*
                     // admission, so it never occupies a queue slot, never
                     // reaches the batcher, and stays out of the admission
-                    // ledger entirely.
-                    if !req.series.as_slice().iter().all(|v| v.is_finite()) {
+                    // ledger entirely. A 0-row series is the same class of
+                    // client bug (the framing layer already refuses to
+                    // decode one; this guard keeps the contract if the
+                    // wire format ever grows a path around that check).
+                    if req.series.rows() == 0
+                        || !req.series.as_slice().iter().all(|v| v.is_finite())
+                    {
                         stats.bad_input.fetch_add(1, Ordering::Relaxed);
                         let resp = Response::reject(req.request_id, Status::BadInput, 0);
                         encode_response(&resp, &mut scratch);

@@ -442,6 +442,185 @@ fn model_frozen(tweak: f64, seed: u64) -> FrozenModel {
     FrozenModel::freeze(&model(tweak, seed))
 }
 
+/// The continual-learning soak: a live [`OnlinePublisher`] absorbs
+/// labelled traffic and hot-swap-publishes refrozen models into the
+/// serving registry *while* retrying clients stream through the full
+/// chaos fault plan. Published digests are not knowable up front, so
+/// every `Ok` response is verified against a lazily built per-digest
+/// oracle: the frozen model the registry holds under that digest,
+/// served in-process. The ledger must balance, connections must drain,
+/// and the publisher must actually have published.
+#[test]
+fn chaos_soak_with_live_online_publisher() {
+    quiet_injected_panics();
+    let _wd = watchdog("publisher soak", Duration::from_secs(240));
+    const SEEDS: [u64; 3] = [1, 7, 21];
+    const CLIENTS: usize = 2;
+    const REQUESTS_PER_CLIENT: usize = 30;
+
+    let frozen_seed = model_frozen(0.02, 17);
+    let series: Arc<Vec<Matrix>> = Arc::new((0..24).map(series_for).collect());
+
+    for seed in SEEDS {
+        let registry = Arc::new(ModelRegistry::new(frozen_seed.clone()));
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig {
+                queue_capacity: 32,
+                max_batch: 8,
+                batch_deadline: Duration::from_millis(1),
+                idle_timeout: Duration::from_millis(500),
+                faults: FaultPlan::seeded(seed, FaultSpec::chaos()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // The publisher thread: absorb labelled series, refit, refreeze,
+        // publish — continuously, racing the live traffic below.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let publisher_handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut publisher = dfr_server::OnlinePublisher::new(
+                    model(0.0, 17),
+                    1e-4,
+                    registry,
+                    dfr_server::PublisherConfig {
+                        publish_every: 8,
+                        min_interval: Duration::from_millis(2),
+                    },
+                )
+                .expect("valid publisher config");
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    publisher
+                        .absorb(&series_for(k), k % 3)
+                        .expect("clean series absorb");
+                    publisher.maybe_publish().expect("publish must not fail");
+                    k += 1;
+                }
+                publisher.published()
+            })
+        };
+
+        // Per-digest oracles, built lazily: a response may name any model
+        // the publisher has frozen by then — all of them stay resolvable
+        // in the registry, which is exactly what makes verification
+        // possible.
+        let oracles: Arc<std::sync::Mutex<HashMap<u64, Oracle>>> =
+            Arc::new(std::sync::Mutex::new(HashMap::new()));
+
+        let ok_count = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|w| {
+                let series = Arc::clone(&series);
+                let oracles = Arc::clone(&oracles);
+                let registry = Arc::clone(&registry);
+                let ok_count = Arc::clone(&ok_count);
+                std::thread::spawn(move || {
+                    let connect = || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        c.set_io_timeout(Some(Duration::from_secs(5))).unwrap();
+                        c
+                    };
+                    let mut client = connect();
+                    let policy = RetryPolicy {
+                        max_attempts: 6,
+                        seed: seed ^ ((w as u64) << 32),
+                        ..RetryPolicy::default()
+                    };
+                    let mut transport_failures = 0u32;
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let i = (w * 17 + r) % series.len();
+                        loop {
+                            match client.call_with_retry(&series[i], 0, &policy) {
+                                Ok((got, _retries)) => {
+                                    let mut map = oracles.lock().unwrap();
+                                    let expected = map.entry(got.digest).or_insert_with(|| {
+                                        let frozen =
+                                            registry.get(got.digest).unwrap_or_else(|| {
+                                                panic!(
+                                                    "served digest {:#x} not in registry",
+                                                    got.digest
+                                                )
+                                            });
+                                        oracle(&frozen, &series)
+                                    });
+                                    let (class, bits) = &expected[i];
+                                    assert_eq!(got.class, *class, "client {w} series {i}");
+                                    let got_bits: Vec<u64> =
+                                        got.probabilities.iter().map(|p| p.to_bits()).collect();
+                                    assert_eq!(
+                                        &got_bits, bits,
+                                        "client {w} series {i}: served answer diverged from \
+                                         the published model it claims"
+                                    );
+                                    ok_count.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(ServerError::Rejected { .. }) => break,
+                                Err(_) => {
+                                    transport_failures += 1;
+                                    assert!(
+                                        transport_failures < 500,
+                                        "client {w} cannot make progress through the fault plan"
+                                    );
+                                    client = connect();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for wkr in workers {
+            wkr.join().expect("soak client");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let published = publisher_handle.join().expect("publisher thread");
+        server.shutdown();
+
+        // The publisher must genuinely have raced the traffic, and the
+        // swapped-in models must be live: at least one publish happened
+        // and the registry's head moved off the seed model.
+        assert!(published > 0, "seed {seed}: publisher never published");
+        assert_ne!(
+            registry.active_digest(),
+            frozen_seed.content_digest(),
+            "seed {seed}: active model never hot-swapped"
+        );
+
+        // No leaked connection threads, and a balanced ledger — same
+        // drain discipline as the capstone soak.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stats = loop {
+            let stats = server.stats();
+            if stats.active_connections == 0 {
+                break stats;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "seed {seed}: leaked connections: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(
+            stats.admitted,
+            stats.answered(),
+            "seed {seed}: admitted requests must all be answered: {stats:?}"
+        );
+        assert!(
+            ok_count.load(Ordering::Relaxed) <= stats.served,
+            "seed {seed}: more Ok responses than serves"
+        );
+    }
+}
+
 /// Aggregate counters across all soak seeds, for the stats artifact and
 /// the cross-seed assertions.
 #[derive(Debug, Default)]
